@@ -1,0 +1,123 @@
+// Package apenetsim's top-level benchmarks regenerate every table and
+// figure of the paper's evaluation through the bench harness, one
+// testing.B target per exhibit:
+//
+//	go test -bench=. -benchmem
+//
+// Each iteration runs the full (quick-mode) experiment; the per-op time
+// is the cost of regenerating the exhibit, and selected headline values
+// are attached as custom metrics so regressions in the *reproduced
+// physics/performance shape* show up in benchmark diffs.
+package apenetsim
+
+import (
+	"strconv"
+	"testing"
+
+	"apenetsim/internal/bench"
+)
+
+func runExperiment(b *testing.B, id string, metric func(*bench.Report) (string, float64)) {
+	b.Helper()
+	e, ok := bench.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	var rep *bench.Report
+	for i := 0; i < b.N; i++ {
+		rep = e.Run(bench.Options{Quick: true})
+	}
+	if rep == nil || len(rep.Rows) == 0 {
+		b.Fatalf("experiment %s produced no rows", id)
+	}
+	if metric != nil {
+		name, v := metric(rep)
+		b.ReportMetric(v, name)
+	}
+}
+
+func cell(rep *bench.Report, row, col int) float64 {
+	v, err := strconv.ParseFloat(rep.Rows[row][col], 64)
+	if err != nil {
+		return -1
+	}
+	return v
+}
+
+func BenchmarkFig3PCIeTiming(b *testing.B) {
+	runExperiment(b, "fig3", nil)
+}
+
+func BenchmarkTable1Loopback(b *testing.B) {
+	runExperiment(b, "table1", func(r *bench.Report) (string, float64) {
+		return "hostread_MB/s", cell(r, 0, 1)
+	})
+}
+
+func BenchmarkFig4GPUReadSweep(b *testing.B) {
+	runExperiment(b, "fig4", func(r *bench.Report) (string, float64) {
+		last := len(r.Rows) - 1
+		return "v3_peak_MB/s", cell(r, last, len(r.Rows[last])-1)
+	})
+}
+
+func BenchmarkFig5LoopbackSweep(b *testing.B) {
+	runExperiment(b, "fig5", nil)
+}
+
+func BenchmarkFig6TwoNodeBandwidth(b *testing.B) {
+	runExperiment(b, "fig6", func(r *bench.Report) (string, float64) {
+		last := len(r.Rows) - 1
+		return "HH_plateau_MB/s", cell(r, last, 1)
+	})
+}
+
+func BenchmarkFig7MethodComparison(b *testing.B) {
+	runExperiment(b, "fig7", nil)
+}
+
+func BenchmarkFig8Latency(b *testing.B) {
+	runExperiment(b, "fig8", func(r *bench.Report) (string, float64) {
+		return "HH_us", cell(r, 0, 1)
+	})
+}
+
+func BenchmarkFig9LatencyMethods(b *testing.B) {
+	runExperiment(b, "fig9", func(r *bench.Report) (string, float64) {
+		return "GG_p2p_us", cell(r, 0, 1)
+	})
+}
+
+func BenchmarkFig10HostOverhead(b *testing.B) {
+	runExperiment(b, "fig10", nil)
+}
+
+func BenchmarkTable2HSGScaling(b *testing.B) {
+	runExperiment(b, "table2", func(r *bench.Report) (string, float64) {
+		return "NP1_ps_per_spin", cell(r, 0, 1)
+	})
+}
+
+func BenchmarkTable3HSGModes(b *testing.B) {
+	runExperiment(b, "table3", nil)
+}
+
+func BenchmarkFig11HSGSpeedup(b *testing.B) {
+	runExperiment(b, "fig11", nil)
+}
+
+func BenchmarkTable4BFSTEPS(b *testing.B) {
+	runExperiment(b, "table4", func(r *bench.Report) (string, float64) {
+		return "NP4_TEPS", cell(r, 2, 1)
+	})
+}
+
+func BenchmarkFig12BFSBreakdown(b *testing.B) {
+	runExperiment(b, "fig12", nil)
+}
+
+func BenchmarkAblBufList(b *testing.B)   { runExperiment(b, "abl-buflist", nil) }
+func BenchmarkAblNiosClock(b *testing.B) { runExperiment(b, "abl-nios", nil) }
+func BenchmarkAblLink(b *testing.B)      { runExperiment(b, "abl-link", nil) }
+func BenchmarkAblKeplerTX(b *testing.B)  { runExperiment(b, "abl-bar1tx", nil) }
+func BenchmarkAblWindow(b *testing.B)    { runExperiment(b, "abl-window", nil) }

@@ -1,0 +1,68 @@
+// Command apebench regenerates the tables and figures of "GPU peer-to-peer
+// techniques applied to a cluster interconnect" (Ammendola et al., 2013)
+// on the simulated APEnet+ cluster.
+//
+// Usage:
+//
+//	apebench -list
+//	apebench -run fig7
+//	apebench -run table1,table2 -csv
+//	apebench -all -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"apenetsim/internal/bench"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	run := flag.String("run", "", "comma-separated experiment IDs to run")
+	all := flag.Bool("all", false, "run every experiment")
+	quick := flag.Bool("quick", false, "reduced sweeps / problem sizes")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var todo []bench.Experiment
+	switch {
+	case *all:
+		todo = bench.All()
+	case *run != "":
+		for _, id := range strings.Split(*run, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := bench.Lookup(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "apebench: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			todo = append(todo, e)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := bench.Options{Quick: *quick}
+	for _, e := range todo {
+		start := time.Now()
+		rep := e.Run(opts)
+		if *csv {
+			fmt.Print(rep.CSV())
+		} else {
+			fmt.Print(rep.Render())
+			fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		}
+	}
+}

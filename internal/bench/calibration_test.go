@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"testing"
+
+	"apenetsim/internal/core"
+	"apenetsim/internal/gpu"
+	"apenetsim/internal/mpigpu"
+	"apenetsim/internal/units"
+)
+
+// within asserts v is inside [lo,hi] (paper-shape tolerance bands).
+func within(t *testing.T, what string, v, lo, hi float64) {
+	t.Helper()
+	if v < lo || v > hi {
+		t.Errorf("%s = %.1f, want within [%.1f, %.1f]", what, v, lo, hi)
+	} else {
+		t.Logf("%s = %.1f (band [%.1f, %.1f])", what, v, lo, hi)
+	}
+}
+
+// Table I row 1: host memory read ~2.4 GB/s.
+func TestCalHostMemRead(t *testing.T) {
+	bw := MemReadBW(core.DefaultConfig(), gpu.Fermi2050(), core.HostMem, core.MethodP2P, 1*units.MB)
+	within(t, "host mem read MB/s", bw.MBpsValue(), 2100, 2700)
+}
+
+// Table I row 2: Fermi P2P read ~1.5 GB/s.
+func TestCalFermiP2PRead(t *testing.T) {
+	bw := MemReadBW(core.DefaultConfig(), gpu.Fermi2050(), core.GPUMem, core.MethodP2P, 1*units.MB)
+	within(t, "Fermi P2P read MB/s", bw.MBpsValue(), 1350, 1650)
+}
+
+// Table I row 3: Fermi BAR1 read ~150 MB/s.
+func TestCalFermiBAR1Read(t *testing.T) {
+	bw := MemReadBW(core.DefaultConfig(), gpu.Fermi2050(), core.GPUMem, core.MethodBAR1, 1*units.MB)
+	within(t, "Fermi BAR1 read MB/s", bw.MBpsValue(), 110, 210)
+}
+
+// Table I rows 4-5: Kepler P2P and BAR1 ~1.6 GB/s.
+func TestCalKeplerReads(t *testing.T) {
+	p2p := MemReadBW(core.DefaultConfig(), gpu.KeplerK20(), core.GPUMem, core.MethodP2P, 1*units.MB)
+	within(t, "Kepler P2P read MB/s", p2p.MBpsValue(), 1450, 1850)
+	bar1 := MemReadBW(core.DefaultConfig(), gpu.KeplerK20(), core.GPUMem, core.MethodBAR1, 1*units.MB)
+	within(t, "Kepler BAR1 read MB/s", bar1.MBpsValue(), 1400, 1900)
+}
+
+// Table I rows 6-7: loop-back 1.1 (G-G) and 1.2 (H-H) GB/s.
+func TestCalLoopback(t *testing.T) {
+	hh := LoopbackBW(core.DefaultConfig(), gpu.Fermi2050(), core.HostMem, core.HostMem, 1*units.MB)
+	within(t, "H-H loopback MB/s", hh.MBpsValue(), 1080, 1350)
+	gg := LoopbackBW(core.DefaultConfig(), gpu.Fermi2050(), core.GPUMem, core.GPUMem, 1*units.MB)
+	within(t, "G-G loopback MB/s", gg.MBpsValue(), 950, 1250)
+	if gg >= hh {
+		t.Errorf("G-G loopback (%v) should be below H-H (%v)", gg, hh)
+	}
+}
+
+// Fig 4 shape: v1 ~0.6 GB/s; v2 grows with window; v3 best.
+func TestCalGPUTXGenerations(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.TXVersion = 1
+	v1 := MemReadBW(cfg, gpu.Fermi2050(), core.GPUMem, core.MethodP2P, 1*units.MB)
+	within(t, "v1 read MB/s", v1.MBpsValue(), 480, 720)
+
+	var v2 [5]units.Bandwidth
+	for i, w := range []units.ByteSize{4 * units.KB, 8 * units.KB, 16 * units.KB, 32 * units.KB} {
+		cfg := core.DefaultConfig()
+		cfg.TXVersion = 2
+		cfg.PrefetchWindow = w
+		v2[i] = MemReadBW(cfg, gpu.Fermi2050(), core.GPUMem, core.MethodP2P, 1*units.MB)
+	}
+	for i := 1; i < 4; i++ {
+		if v2[i] <= v2[i-1] {
+			t.Errorf("v2 window scaling broken: W#%d %v <= W#%d %v", i, v2[i], i-1, v2[i-1])
+		}
+	}
+	// "+20% from 4K to 8K" (we land near +25%).
+	ratio := float64(v2[1]) / float64(v2[0])
+	within(t, "v2 8K/4K ratio", ratio, 1.10, 1.35)
+
+	cfg3 := core.DefaultConfig() // v3, 128K window
+	v3 := MemReadBW(cfg3, gpu.Fermi2050(), core.GPUMem, core.MethodP2P, 1*units.MB)
+	if float64(v3) < float64(v2[3])*0.98 {
+		t.Errorf("v3 (%v) should not trail v2-32K (%v)", v3, v2[3])
+	}
+}
+
+// Fig 6/7 plateaus: H-H ~1.2, G-G ~1.0-1.1 GB/s; ordering H-H >= G-H, H-G >= G-G.
+func TestCalTwoNodeBandwidth(t *testing.T) {
+	cfg := core.DefaultConfig()
+	hh := TwoNodeBW(cfg, core.HostMem, core.HostMem, 1*units.MB)
+	hg := TwoNodeBW(cfg, core.HostMem, core.GPUMem, 1*units.MB)
+	gh := TwoNodeBW(cfg, core.GPUMem, core.HostMem, 1*units.MB)
+	gg := TwoNodeBW(cfg, core.GPUMem, core.GPUMem, 1*units.MB)
+	within(t, "2-node H-H MB/s", hh.MBpsValue(), 1080, 1320)
+	within(t, "2-node H-G MB/s", hg.MBpsValue(), 980, 1250)
+	within(t, "2-node G-H MB/s", gh.MBpsValue(), 980, 1320)
+	within(t, "2-node G-G MB/s", gg.MBpsValue(), 900, 1200)
+	if hg > hh || gg > gh {
+		t.Errorf("GPU destination should not beat host destination: hh=%v hg=%v gh=%v gg=%v", hh, hg, gh, gg)
+	}
+}
+
+// Fig 8: H-H latency ~6.3 us, G-G ~8.2 us at 32 B.
+func TestCalLatency(t *testing.T) {
+	cfg := core.DefaultConfig()
+	hh := TwoNodeLatency(cfg, core.HostMem, core.HostMem, 32, 100)
+	within(t, "H-H latency us", hh.Micros(), 5.4, 7.2)
+	gg := TwoNodeLatency(cfg, core.GPUMem, core.GPUMem, 32, 100)
+	within(t, "G-G latency us", gg.Micros(), 7.2, 9.4)
+	diff := gg.Micros() - hh.Micros()
+	within(t, "G-G minus H-H us", diff, 1.2, 2.8)
+}
+
+// Fig 9: staging ~16.8 us, IB/MVAPICH2 ~17.4 us at 32 B; P2P wins by ~2x.
+func TestCalStagingAndIBLatency(t *testing.T) {
+	cfg := core.DefaultConfig()
+	staged := StagedTwoNodeLatency(cfg, 32, 60)
+	within(t, "G-G staged latency us", staged.Micros(), 14.5, 19.5)
+	ibl := IBTwoNodeLatency(8, mpigpu.MVAPICH2(), 32, 60)
+	within(t, "G-G IB latency us", ibl.Micros(), 15.0, 19.5)
+	p2p := TwoNodeLatency(cfg, core.GPUMem, core.GPUMem, 32, 60)
+	if ratio := staged.Micros() / p2p.Micros(); ratio < 1.6 {
+		t.Errorf("staging/P2P latency ratio = %.2f, want ~2x", ratio)
+	}
+}
+
+// Fig 7 crossover: P2P wins at 8K, staging wins at >=128K; IB wins at 4M.
+func TestCalFig7Crossover(t *testing.T) {
+	cfg := core.DefaultConfig()
+	p2p8k := TwoNodeBW(cfg, core.GPUMem, core.GPUMem, 8*units.KB)
+	st8k := StagedTwoNodeBW(cfg, 8*units.KB)
+	if float64(p2p8k) <= float64(st8k) {
+		t.Errorf("at 8K, P2P (%v) should beat staging (%v)", p2p8k, st8k)
+	}
+	p2p512k := TwoNodeBW(cfg, core.GPUMem, core.GPUMem, 512*units.KB)
+	st512k := StagedTwoNodeBW(cfg, 512*units.KB)
+	if float64(st512k) <= float64(p2p512k) {
+		t.Errorf("at 512K, staging (%v) should beat P2P (%v)", st512k, p2p512k)
+	}
+	ib4m := IBTwoNodeBW(8, mpigpu.MVAPICH2(), 4*units.MB)
+	within(t, "IB G-G at 4M MB/s", ib4m.MBpsValue(), 2400, 3400)
+	if float64(ib4m) < float64(p2p512k)*1.5 {
+		t.Errorf("IB at 4M (%v) should clearly beat APEnet P2P (%v)", ib4m, p2p512k)
+	}
+}
+
+// Fig 10: host overhead H-H ~5 us, G-G ~8 us, staged ~17 us at small sizes.
+func TestCalHostOverhead(t *testing.T) {
+	cfg := core.DefaultConfig()
+	hh := HostOverhead(cfg, core.HostMem, core.HostMem, 128, false)
+	within(t, "H-H host overhead us", hh.Micros(), 3.5, 6.5)
+	gg := HostOverhead(cfg, core.GPUMem, core.GPUMem, 128, false)
+	within(t, "G-G host overhead us", gg.Micros(), 6.0, 10.5)
+	st := HostOverhead(cfg, core.GPUMem, core.GPUMem, 128, true)
+	within(t, "staged host overhead us", st.Micros(), 12.0, 20.0)
+	if !(hh < gg && gg < st) {
+		t.Errorf("overhead ordering H-H < G-G < staged violated: %v %v %v", hh, gg, st)
+	}
+}
+

@@ -1,0 +1,512 @@
+// Package bench contains the experiment harness that regenerates every
+// table and figure of the paper's evaluation (§V): the single-card
+// loop-back and flush-mode memory-read tests, the two-node bandwidth /
+// latency / host-overhead benchmarks (OSU-style, but coded against the
+// RDMA API like the paper's own tests), the staging and InfiniBand
+// baselines, and the application experiments.
+package bench
+
+import (
+	"apenetsim/internal/cluster"
+	"apenetsim/internal/core"
+	"apenetsim/internal/cuda"
+	"apenetsim/internal/gpu"
+	"apenetsim/internal/ib"
+	"apenetsim/internal/mpigpu"
+	"apenetsim/internal/rdma"
+	"apenetsim/internal/sim"
+	"apenetsim/internal/torus"
+	"apenetsim/internal/units"
+)
+
+func must(err error) {
+	if err != nil {
+		panic("bench: " + err.Error())
+	}
+}
+
+// msgCount picks how many messages to time for a message size: enough
+// volume for steady state, bounded so small-message points stay cheap.
+func msgCount(msg units.ByteSize) int {
+	n := int(8 * units.MB / msg)
+	if n < 24 {
+		n = 24
+	}
+	if n > 1024 {
+		n = 1024
+	}
+	return n
+}
+
+func newBuffer(p *sim.Proc, ep *rdma.Endpoint, g *gpu.Device, kind core.MemKind, size units.ByteSize) *rdma.Buffer {
+	var b *rdma.Buffer
+	var err error
+	if kind == core.GPUMem {
+		b, err = ep.NewGPUBuffer(p, g, size)
+	} else {
+		b, err = ep.NewHostBuffer(p, size)
+	}
+	must(err)
+	return b
+}
+
+// MemReadBW measures the card's raw memory-read bandwidth (host or GPU
+// source) with packets flushed at the internal switch — the Table I /
+// Fig 4 test mode.
+func MemReadBW(cfg core.Config, spec gpu.Spec, kind core.MemKind, method core.TXMethod, msg units.ByteSize) units.Bandwidth {
+	eng := sim.New()
+	defer eng.Shutdown()
+	cfg.FlushAtSwitch = true
+	cfg.GPUTXMethod = method
+	cl, err := cluster.SingleNode(eng, nil, cfg, spec)
+	must(err)
+	node := cl.Nodes[0]
+	ep := rdma.NewEndpoint(node.Card)
+	var bw units.Bandwidth
+	eng.Go("bench", func(p *sim.Proc) {
+		src := newBuffer(p, ep, node.GPU(0), kind, msg)
+		warm := 4
+		n := msgCount(msg)
+		for i := 0; i < warm; i++ {
+			_, err := ep.Put(p, 0, src.Addr, src, 0, msg, rdma.PutFlags{})
+			must(err)
+		}
+		ep.DrainSends(p, warm)
+		start := p.Now()
+		for i := 0; i < n; i++ {
+			_, err := ep.Put(p, 0, src.Addr, src, 0, msg, rdma.PutFlags{})
+			must(err)
+		}
+		ep.DrainSends(p, n)
+		bw = units.Rate(units.ByteSize(n)*msg, p.Now().Sub(start))
+	})
+	eng.Run()
+	return bw
+}
+
+// LoopbackBW measures the full single-card loop-back bandwidth (TX engine
+// + switch + RX processing on the shared Nios II) — Table I's last rows
+// and Fig 5.
+func LoopbackBW(cfg core.Config, spec gpu.Spec, srcKind, dstKind core.MemKind, msg units.ByteSize) units.Bandwidth {
+	eng := sim.New()
+	defer eng.Shutdown()
+	cfg.FlushAtSwitch = false
+	cl, err := cluster.SingleNode(eng, nil, cfg, spec)
+	must(err)
+	node := cl.Nodes[0]
+	ep := rdma.NewEndpoint(node.Card)
+	var bw units.Bandwidth
+	eng.Go("bench", func(p *sim.Proc) {
+		src := newBuffer(p, ep, node.GPU(0), srcKind, msg)
+		dst := newBuffer(p, ep, node.GPU(0), dstKind, msg)
+		warm := 4
+		n := msgCount(msg)
+		for i := 0; i < warm; i++ {
+			_, err := ep.PutBuffer(p, 0, dst, src, msg, rdma.PutFlags{})
+			must(err)
+		}
+		ep.DrainRecvs(p, warm)
+		start := p.Now()
+		for i := 0; i < n; i++ {
+			_, err := ep.PutBuffer(p, 0, dst, src, msg, rdma.PutFlags{})
+			must(err)
+		}
+		ep.DrainRecvs(p, n)
+		bw = units.Rate(units.ByteSize(n)*msg, p.Now().Sub(start))
+	})
+	eng.Run()
+	return bw
+}
+
+// TwoNodeBW measures uni-directional bandwidth between torus neighbors
+// for any source/destination buffer kind combination (Fig 6, and the
+// P2P=ON curve of Fig 7).
+func TwoNodeBW(cfg core.Config, srcKind, dstKind core.MemKind, msg units.ByteSize) units.Bandwidth {
+	eng := sim.New()
+	defer eng.Shutdown()
+	cl, err := cluster.TwoNodes(eng, nil, cfg, 0)
+	must(err)
+	sender, recver := cl.Nodes[0], cl.Nodes[1]
+	epS := rdma.NewEndpoint(sender.Card)
+	epR := rdma.NewEndpoint(recver.Card)
+	warm := 4
+	n := msgCount(msg)
+
+	ready := sim.NewSignal(eng)
+	var dst *rdma.Buffer
+	var ackTo uint64
+	var bw units.Bandwidth
+	eng.Go("recv", func(p *sim.Proc) {
+		dst = newBuffer(p, epR, recver.GPU(0), dstKind, msg)
+		ackBuf, err := epR.NewHostBuffer(p, 64)
+		must(err)
+		ready.Broadcast()
+		epR.DrainRecvs(p, warm+n)
+		// Ack back to the sender to stop its timer.
+		_, err = epR.Put(p, 0, ackTo, ackBuf, 0, 64, rdma.PutFlags{})
+		must(err)
+	})
+	eng.Go("send", func(p *sim.Proc) {
+		src := newBuffer(p, epS, sender.GPU(0), srcKind, msg)
+		ack, err := epS.NewHostBuffer(p, 64)
+		must(err)
+		ackTo = ack.Addr
+		for dst == nil {
+			ready.Wait(p, "bench.ready")
+		}
+		for i := 0; i < warm; i++ {
+			_, err := epS.PutBuffer(p, 1, dst, src, msg, rdma.PutFlags{})
+			must(err)
+		}
+		start := p.Now()
+		for i := 0; i < n; i++ {
+			_, err := epS.PutBuffer(p, 1, dst, src, msg, rdma.PutFlags{})
+			must(err)
+		}
+		epS.WaitRecv(p) // ack: all n+warm delivered
+		bw = units.Rate(units.ByteSize(n+warm)*msg, p.Now().Sub(start))
+	})
+	eng.Run()
+	return bw
+}
+
+// TwoNodeLatency measures half round-trip time with a ping-pong (Figs 8-9).
+func TwoNodeLatency(cfg core.Config, srcKind, dstKind core.MemKind, msg units.ByteSize, iters int) sim.Duration {
+	eng := sim.New()
+	defer eng.Shutdown()
+	cl, err := cluster.TwoNodes(eng, nil, cfg, 0)
+	must(err)
+	a, b := cl.Nodes[0], cl.Nodes[1]
+	epA := rdma.NewEndpoint(a.Card)
+	epB := rdma.NewEndpoint(b.Card)
+	warm := 8
+	var lat sim.Duration
+
+	ready := sim.NewSignal(eng)
+	var dstA, dstB *rdma.Buffer
+	eng.Go("b", func(p *sim.Proc) {
+		// B owns a receive buffer of the destination kind and a source
+		// buffer of the source kind (symmetric ping-pong).
+		dstB = newBuffer(p, epB, b.GPU(0), dstKind, msg)
+		srcB := newBuffer(p, epB, b.GPU(0), srcKind, msg)
+		ready.Broadcast()
+		for dstA == nil {
+			ready.Wait(p, "bench.b.ready")
+		}
+		for i := 0; i < warm+iters; i++ {
+			epB.WaitRecv(p)
+			_, err := epB.PutBuffer(p, 0, dstA, srcB, msg, rdma.PutFlags{})
+			must(err)
+		}
+	})
+	eng.Go("a", func(p *sim.Proc) {
+		dstA = newBuffer(p, epA, a.GPU(0), dstKind, msg)
+		srcA := newBuffer(p, epA, a.GPU(0), srcKind, msg)
+		ready.Broadcast()
+		for dstB == nil {
+			ready.Wait(p, "bench.a.ready")
+		}
+		for i := 0; i < warm; i++ {
+			_, err := epA.PutBuffer(p, 1, dstB, srcA, msg, rdma.PutFlags{})
+			must(err)
+			epA.WaitRecv(p)
+		}
+		start := p.Now()
+		for i := 0; i < iters; i++ {
+			_, err := epA.PutBuffer(p, 1, dstB, srcA, msg, rdma.PutFlags{})
+			must(err)
+			epA.WaitRecv(p)
+		}
+		lat = p.Now().Sub(start) / sim.Duration(2*iters)
+	})
+	eng.Run()
+	return lat
+}
+
+// HostOverhead measures the per-message run time of the bandwidth test at
+// the sender (the LogP "o" of Fig 10): how long the host is busy per PUT
+// in a tight enqueue loop.
+func HostOverhead(cfg core.Config, srcKind, dstKind core.MemKind, msg units.ByteSize, staged bool) sim.Duration {
+	if staged {
+		return stagedSenderTime(cfg, msg)
+	}
+	eng := sim.New()
+	defer eng.Shutdown()
+	cl, err := cluster.TwoNodes(eng, nil, cfg, 0)
+	must(err)
+	sender, recver := cl.Nodes[0], cl.Nodes[1]
+	epS := rdma.NewEndpoint(sender.Card)
+	epR := rdma.NewEndpoint(recver.Card)
+	// Long run: the TX FIFO and queues absorb hundreds of small packets,
+	// so the steady state needs many iterations to dominate.
+	warm := 512
+	n := 4096
+	var perMsg sim.Duration
+
+	ready := sim.NewSignal(eng)
+	var dst *rdma.Buffer
+	eng.Go("recv", func(p *sim.Proc) {
+		dst = newBuffer(p, epR, recver.GPU(0), dstKind, msg)
+		ready.Broadcast()
+		epR.DrainRecvs(p, warm+n)
+	})
+	eng.Go("send", func(p *sim.Proc) {
+		src := newBuffer(p, epS, sender.GPU(0), srcKind, msg)
+		for dst == nil {
+			ready.Wait(p, "bench.ready")
+		}
+		for i := 0; i < warm; i++ {
+			_, err := epS.PutBuffer(p, 1, dst, src, msg, rdma.PutFlags{})
+			must(err)
+		}
+		start := p.Now()
+		for i := 0; i < n; i++ {
+			_, err := epS.PutBuffer(p, 1, dst, src, msg, rdma.PutFlags{})
+			must(err)
+		}
+		perMsg = p.Now().Sub(start) / sim.Duration(n)
+	})
+	eng.Run()
+	return perMsg
+}
+
+// stagedSenderTime is the per-message sender time with staging: a
+// synchronous D2H copy before every PUT.
+func stagedSenderTime(cfg core.Config, msg units.ByteSize) sim.Duration {
+	eng := sim.New()
+	defer eng.Shutdown()
+	cl, err := cluster.TwoNodes(eng, nil, cfg, 0)
+	must(err)
+	sender, recver := cl.Nodes[0], cl.Nodes[1]
+	epS := rdma.NewEndpoint(sender.Card)
+	epR := rdma.NewEndpoint(recver.Card)
+	ctx := cuda.NewContext(eng, sender.Fab, sender.GPU(0), sender.HostMem)
+	warm := 16
+	n := 512
+	var perMsg sim.Duration
+
+	ready := sim.NewSignal(eng)
+	var dst *rdma.Buffer
+	eng.Go("recv", func(p *sim.Proc) {
+		dst = newBuffer(p, epR, recver.GPU(0), core.HostMem, msg)
+		rctx := cuda.NewContext(eng, recver.Fab, recver.GPU(0), recver.HostMem)
+		ready.Broadcast()
+		for i := 0; i < warm+n; i++ {
+			epR.WaitRecv(p)
+			rctx.MemcpyH2D(p, msg)
+		}
+	})
+	eng.Go("send", func(p *sim.Proc) {
+		src := newBuffer(p, epS, sender.GPU(0), core.HostMem, msg)
+		for dst == nil {
+			ready.Wait(p, "bench.ready")
+		}
+		// Staging cannot reuse the host bounce buffer until the card has
+		// fetched it, so each iteration waits for the local send
+		// completion — part of why staging's per-message cost is so high.
+		for i := 0; i < warm; i++ {
+			ctx.MemcpyD2H(p, msg)
+			_, err := epS.PutBuffer(p, 1, dst, src, msg, rdma.PutFlags{})
+			must(err)
+			epS.WaitSend(p)
+		}
+		start := p.Now()
+		for i := 0; i < n; i++ {
+			ctx.MemcpyD2H(p, msg)
+			_, err := epS.PutBuffer(p, 1, dst, src, msg, rdma.PutFlags{})
+			must(err)
+			epS.WaitSend(p)
+		}
+		perMsg = p.Now().Sub(start) / sim.Duration(n)
+	})
+	eng.Run()
+	return perMsg
+}
+
+// StagedTwoNodeBW measures G-G bandwidth with staging on both sides
+// (P2P=OFF): sync D2H on the sender, PUT host-to-host, H2D at the
+// receiver — the Fig 7 "P2P=OFF" curve.
+func StagedTwoNodeBW(cfg core.Config, msg units.ByteSize) units.Bandwidth {
+	eng := sim.New()
+	defer eng.Shutdown()
+	cl, err := cluster.TwoNodes(eng, nil, cfg, 0)
+	must(err)
+	sender, recver := cl.Nodes[0], cl.Nodes[1]
+	epS := rdma.NewEndpoint(sender.Card)
+	epR := rdma.NewEndpoint(recver.Card)
+	ctxS := cuda.NewContext(eng, sender.Fab, sender.GPU(0), sender.HostMem)
+	warm := 4
+	n := msgCount(msg)
+	var bw units.Bandwidth
+
+	ready := sim.NewSignal(eng)
+	var dst *rdma.Buffer
+	var done sim.Time
+	eng.Go("recv", func(p *sim.Proc) {
+		dst = newBuffer(p, epR, recver.GPU(0), core.HostMem, msg)
+		ctxR := cuda.NewContext(eng, recver.Fab, recver.GPU(0), recver.HostMem)
+		ready.Broadcast()
+		for i := 0; i < warm+n; i++ {
+			epR.WaitRecv(p)
+			ctxR.MemcpyH2D(p, msg)
+		}
+		done = p.Now()
+	})
+	var start sim.Time
+	eng.Go("send", func(p *sim.Proc) {
+		src := newBuffer(p, epS, sender.GPU(0), core.HostMem, msg)
+		for dst == nil {
+			ready.Wait(p, "bench.ready")
+		}
+		for i := 0; i < warm; i++ {
+			ctxS.MemcpyD2H(p, msg)
+			_, err := epS.PutBuffer(p, 1, dst, src, msg, rdma.PutFlags{})
+			must(err)
+		}
+		start = p.Now()
+		for i := 0; i < n; i++ {
+			ctxS.MemcpyD2H(p, msg)
+			_, err := epS.PutBuffer(p, 1, dst, src, msg, rdma.PutFlags{})
+			must(err)
+		}
+	})
+	eng.Run()
+	bw = units.Rate(units.ByteSize(n+warm)*msg, done.Sub(start))
+	return bw
+}
+
+// StagedTwoNodeLatency is the P2P=OFF ping-pong of Fig 9.
+func StagedTwoNodeLatency(cfg core.Config, msg units.ByteSize, iters int) sim.Duration {
+	eng := sim.New()
+	defer eng.Shutdown()
+	cl, err := cluster.TwoNodes(eng, nil, cfg, 0)
+	must(err)
+	a, b := cl.Nodes[0], cl.Nodes[1]
+	epA := rdma.NewEndpoint(a.Card)
+	epB := rdma.NewEndpoint(b.Card)
+	ctxA := cuda.NewContext(eng, a.Fab, a.GPU(0), a.HostMem)
+	ctxB := cuda.NewContext(eng, b.Fab, b.GPU(0), b.HostMem)
+	warm := 4
+	var lat sim.Duration
+
+	ready := sim.NewSignal(eng)
+	var dstA, dstB *rdma.Buffer
+	eng.Go("b", func(p *sim.Proc) {
+		dstB = newBuffer(p, epB, b.GPU(0), core.HostMem, msg)
+		srcB := newBuffer(p, epB, b.GPU(0), core.HostMem, msg)
+		ready.Broadcast()
+		for dstA == nil {
+			ready.Wait(p, "bench.b.ready")
+		}
+		for i := 0; i < warm+iters; i++ {
+			epB.WaitRecv(p)
+			ctxB.MemcpyH2D(p, msg) // land in GPU memory
+			ctxB.MemcpyD2H(p, msg) // stage the reply
+			_, err := epB.PutBuffer(p, 0, dstA, srcB, msg, rdma.PutFlags{})
+			must(err)
+		}
+	})
+	eng.Go("a", func(p *sim.Proc) {
+		dstA = newBuffer(p, epA, a.GPU(0), core.HostMem, msg)
+		srcA := newBuffer(p, epA, a.GPU(0), core.HostMem, msg)
+		ready.Broadcast()
+		for dstB == nil {
+			ready.Wait(p, "bench.a.ready")
+		}
+		roundtrip := func() {
+			ctxA.MemcpyD2H(p, msg)
+			_, err := epA.PutBuffer(p, 1, dstB, srcA, msg, rdma.PutFlags{})
+			must(err)
+			epA.WaitRecv(p)
+			ctxA.MemcpyH2D(p, msg)
+		}
+		for i := 0; i < warm; i++ {
+			roundtrip()
+		}
+		start := p.Now()
+		for i := 0; i < iters; i++ {
+			roundtrip()
+		}
+		lat = p.Now().Sub(start) / sim.Duration(2*iters)
+	})
+	eng.Run()
+	return lat
+}
+
+// IBTwoNodeBW measures MVAPICH2-over-IB G-G bandwidth between two nodes
+// with the given HCA slot width (Fig 7's reference curve; Cluster II uses
+// x8 slots).
+func IBTwoNodeBW(slotLanes int, mpi mpigpu.Config, msg units.ByteSize) units.Bandwidth {
+	eng := sim.New()
+	defer eng.Shutdown()
+	cl, comms := ibPair(eng, slotLanes, mpi)
+	_ = cl
+	warm := 2
+	n := msgCount(msg)
+	if n > 256 {
+		n = 256
+	}
+	var bw units.Bandwidth
+	eng.Go("send", func(p *sim.Proc) {
+		for i := 0; i < warm+n; i++ {
+			comms[0].Send(p, 1, msg, true, nil)
+		}
+	})
+	eng.Go("recv", func(p *sim.Proc) {
+		for i := 0; i < warm; i++ {
+			comms[1].Recv(p, 0)
+		}
+		start := p.Now()
+		for i := 0; i < n; i++ {
+			comms[1].Recv(p, 0)
+		}
+		bw = units.Rate(units.ByteSize(n)*msg, p.Now().Sub(start))
+	})
+	eng.Run()
+	return bw
+}
+
+// IBTwoNodeLatency is the MVAPICH2 G-G OSU latency (Fig 9 reference).
+func IBTwoNodeLatency(slotLanes int, mpi mpigpu.Config, msg units.ByteSize, iters int) sim.Duration {
+	eng := sim.New()
+	defer eng.Shutdown()
+	_, comms := ibPair(eng, slotLanes, mpi)
+	warm := 4
+	var lat sim.Duration
+	eng.Go("a", func(p *sim.Proc) {
+		pingpong := func() {
+			comms[0].Send(p, 1, msg, true, nil)
+			comms[0].Recv(p, 1)
+		}
+		for i := 0; i < warm; i++ {
+			pingpong()
+		}
+		start := p.Now()
+		for i := 0; i < iters; i++ {
+			pingpong()
+		}
+		lat = p.Now().Sub(start) / sim.Duration(2*iters)
+	})
+	eng.Go("b", func(p *sim.Proc) {
+		for i := 0; i < warm+iters; i++ {
+			comms[1].Recv(p, 0)
+			comms[1].Send(p, 0, msg, true, nil)
+		}
+	})
+	eng.Run()
+	return lat
+}
+
+func ibPair(eng *sim.Engine, slotLanes int, mpi mpigpu.Config) (*cluster.Cluster, []*mpigpu.IBComm) {
+	ibc := ib.DefaultConfig(slotLanes)
+	cl, err := cluster.New(eng, nil, torus.Dims{X: 2, Y: 1, Z: 1}, 2, func(i int) cluster.NodeConfig {
+		return cluster.NodeConfig{
+			GPUSpecs: []gpu.Spec{gpu.Fermi2075()},
+			IB:       &ibc,
+		}
+	})
+	must(err)
+	comms, err := mpigpu.NewIBWorld(cl, 2, 0, mpi)
+	must(err)
+	return cl, comms
+}

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"apenetsim/internal/core"
+	"apenetsim/internal/gpu"
+	"apenetsim/internal/units"
+)
+
+func TestReportRender(t *testing.T) {
+	r := &Report{
+		ID:     "t",
+		Title:  "demo",
+		Header: []string{"a", "long-header"},
+		Rows:   [][]string{{"1", "2"}, {"333333", "4"}},
+		Notes:  []string{"hello"},
+	}
+	out := r.Render()
+	if !strings.Contains(out, "== t — demo ==") {
+		t.Fatalf("missing title: %q", out)
+	}
+	if !strings.Contains(out, "long-header") || !strings.Contains(out, "333333") {
+		t.Fatalf("missing cells: %q", out)
+	}
+	if !strings.Contains(out, "note: hello") {
+		t.Fatalf("missing note: %q", out)
+	}
+	csv := r.CSV()
+	if !strings.HasPrefix(csv, "a,long-header\n") {
+		t.Fatalf("csv header: %q", csv)
+	}
+	if !strings.Contains(csv, "333333,4") {
+		t.Fatalf("csv rows: %q", csv)
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	r := &Report{Header: []string{`x,y`, `q"z`}, Rows: [][]string{{"a\nb", "plain"}}}
+	csv := r.CSV()
+	if !strings.Contains(csv, `"x,y"`) || !strings.Contains(csv, `"q""z"`) || !strings.Contains(csv, "\"a\nb\"") {
+		t.Fatalf("escaping broken: %q", csv)
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	all := All()
+	if len(all) < 19 {
+		t.Fatalf("registry has %d experiments, want >= 19 (14 exhibits + 5 ablations)", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("incomplete experiment %+v", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if _, ok := Lookup(e.ID); !ok {
+			t.Fatalf("lookup(%s) failed", e.ID)
+		}
+	}
+	for _, id := range []string{"table1", "table2", "table3", "table4",
+		"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12"} {
+		if !seen[id] {
+			t.Fatalf("paper exhibit %s missing from registry", id)
+		}
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("lookup of unknown id succeeded")
+	}
+	if len(SortedIDs()) != len(all) {
+		t.Fatal("SortedIDs incomplete")
+	}
+}
+
+// The whole simulation stack must be deterministic: identical runs give
+// bit-identical results.
+func TestEndToEndDeterminism(t *testing.T) {
+	run := func() (units.Bandwidth, units.Bandwidth) {
+		cfg := core.DefaultConfig()
+		return TwoNodeBW(cfg, core.GPUMem, core.GPUMem, 64*units.KB),
+			LoopbackBWDefault()
+	}
+	b1, l1 := run()
+	b2, l2 := run()
+	if b1 != b2 || l1 != l2 {
+		t.Fatalf("nondeterministic: %v/%v vs %v/%v", b1, l1, b2, l2)
+	}
+}
+
+// LoopbackBWDefault is a tiny helper for the determinism test.
+func LoopbackBWDefault() units.Bandwidth {
+	return LoopbackBW(core.DefaultConfig(), gpu.Fermi2050(), core.HostMem, core.HostMem, 256*units.KB)
+}

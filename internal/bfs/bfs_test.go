@@ -1,0 +1,122 @@
+package bfs
+
+import (
+	"testing"
+
+	"apenetsim/internal/graph"
+)
+
+func testGraph(scale int) *graph.CSR {
+	return graph.BuildCSR(graph.Kronecker(scale, 16, 1))
+}
+
+func TestSerialReachesGiantComponent(t *testing.T) {
+	g := testGraph(10)
+	parent := Serial(g, g.MaxDegreeVertex())
+	reached := CountReached(parent)
+	if reached < int64(g.N)/2 {
+		t.Fatalf("reached only %d of %d", reached, g.N)
+	}
+	if err := graph.ValidateBFSTree(g, g.MaxDegreeVertex(), parent, reached); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The distributed algorithm must reach exactly the same vertex set as the
+// serial one and produce a valid BFS tree, for every rank count.
+func TestDistributedMatchesSerial(t *testing.T) {
+	g := testGraph(10)
+	root := g.MaxDegreeVertex()
+	want := CountReached(Serial(g, root))
+	for _, np := range []int{2, 3, 4, 8} {
+		parent := RunInProcess(g, np, root)
+		if got := CountReached(parent); got != want {
+			t.Fatalf("np=%d reached %d, want %d", np, got, want)
+		}
+		if err := graph.ValidateBFSTree(g, root, parent, want); err != nil {
+			t.Fatalf("np=%d: %v", np, err)
+		}
+	}
+}
+
+// The simulated cluster run must produce a valid traversal too — the
+// timing layer may not corrupt the algorithm.
+func TestSimulatedRunValidTree(t *testing.T) {
+	g := testGraph(12)
+	root := g.MaxDegreeVertex()
+	want := CountReached(Serial(g, root))
+	for _, fabric := range []Fabric{FabricAPEnet, FabricIB} {
+		res, err := Run(Config{Scale: 12, NP: 4, Fabric: fabric, Graph: g, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Reached != want {
+			t.Fatalf("%v reached %d, want %d", fabric, res.Reached, want)
+		}
+		if err := graph.ValidateBFSTree(g, root, res.Parent, want); err != nil {
+			t.Fatalf("%v: %v", fabric, err)
+		}
+		if res.TEPS <= 0 || res.Levels < 2 {
+			t.Fatalf("%v: degenerate result %+v", fabric, res)
+		}
+	}
+}
+
+// Table IV shape at reduced scale: APEnet+ ahead at NP=4, IB catches up
+// at NP=8; both scale with NP.
+func TestTableIVShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation")
+	}
+	g := testGraph(16)
+	teps := map[Fabric]map[int]float64{FabricAPEnet: {}, FabricIB: {}}
+	for _, fabric := range []Fabric{FabricAPEnet, FabricIB} {
+		for _, np := range []int{1, 4, 8} {
+			res, err := Run(Config{Scale: 16, NP: np, Fabric: fabric, Graph: g, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			teps[fabric][np] = res.TEPS
+			t.Logf("%v NP=%d: %.2e TEPS", fabric, np, res.TEPS)
+		}
+	}
+	if teps[FabricAPEnet][4] <= teps[FabricIB][4] {
+		t.Errorf("APEnet should beat IB at NP=4: %.2e vs %.2e", teps[FabricAPEnet][4], teps[FabricIB][4])
+	}
+	if teps[FabricAPEnet][8] <= teps[FabricAPEnet][4] {
+		t.Errorf("APEnet should still scale 4->8")
+	}
+	ratio := teps[FabricIB][8] / teps[FabricAPEnet][8]
+	if ratio < 0.9 {
+		t.Errorf("IB should catch up at NP=8 (ratio %.2f)", ratio)
+	}
+}
+
+// Fig 12 shape: at NP=4, communication time is substantially lower on
+// APEnet+ than on IB, while compute matches.
+func TestFig12CommBreakdown(t *testing.T) {
+	g := testGraph(14)
+	ra, err := Run(Config{Scale: 14, NP: 4, Fabric: FabricAPEnet, Graph: g, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri, err := Run(Config{Scale: 14, NP: 4, Fabric: FabricIB, Graph: g, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var commA, commI, compA, compI float64
+	for r := 0; r < 4; r++ {
+		commA += ra.Breakdown[r].Comm.Seconds()
+		commI += ri.Breakdown[r].Comm.Seconds()
+		compA += ra.Breakdown[r].Compute.Seconds()
+		compI += ri.Breakdown[r].Compute.Seconds()
+	}
+	t.Logf("comm APEnet %.2fms vs IB %.2fms; compute %.2f vs %.2f ms",
+		commA*1e3, commI*1e3, compA*1e3, compI*1e3)
+	if commA >= commI {
+		t.Errorf("APEnet comm (%f) should be below IB comm (%f)", commA, commI)
+	}
+	if d := compA/compI - 1; d > 0.05 || d < -0.05 {
+		t.Errorf("compute should match across fabrics: %f vs %f", compA, compI)
+	}
+}

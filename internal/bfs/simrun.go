@@ -1,0 +1,274 @@
+package bfs
+
+import (
+	"fmt"
+
+	"apenetsim/internal/cluster"
+	"apenetsim/internal/graph"
+	"apenetsim/internal/mpigpu"
+	"apenetsim/internal/sim"
+	"apenetsim/internal/units"
+)
+
+// KernelModel converts traversal work into GPU kernel durations,
+// calibrated against the paper's single-GPU point (6.7e7 TEPS at scale
+// 20 on Cluster I).
+type KernelModel struct {
+	EdgeCost      sim.Duration // per scanned edge (atomics-heavy 2012 kernel)
+	VertexCost    sim.Duration // per frontier vertex
+	ApplyCost     sim.Duration // per incoming/locally merged update
+	LevelOverhead sim.Duration // kernel launches, frontier compaction
+}
+
+// DefaultKernel returns the calibrated model.
+func DefaultKernel() KernelModel {
+	return KernelModel{
+		EdgeCost:      sim.FromNanos(7),
+		VertexCost:    sim.FromNanos(2),
+		ApplyCost:     sim.FromNanos(4),
+		LevelOverhead: sim.FromMicros(60),
+	}
+}
+
+// ChunkBytes is the granularity at which update lists are shipped: the
+// real code streams frontier updates in small-to-mid messages as the
+// expansion produces them (this is why the traversal "exercises the
+// networking in different regions of the bandwidth plot", and why
+// APEnet+'s small-message advantage shows through).
+const ChunkBytes = 8 * units.KB
+
+// Fabric selects the interconnect.
+type Fabric int
+
+const (
+	// FabricAPEnet runs on Cluster I (4x2 torus, P2P=ON).
+	FabricAPEnet Fabric = iota
+	// FabricIB runs on Cluster II (ConnectX-2 x8, MVAPICH2).
+	FabricIB
+)
+
+func (f Fabric) String() string {
+	if f == FabricIB {
+		return "IB/MVAPICH2"
+	}
+	return "APEnet+ P2P=ON"
+}
+
+// Config describes one Table IV cell.
+type Config struct {
+	Scale      int
+	Edgefactor int
+	Seed       int64
+	NP         int
+	Fabric     Fabric
+	Kernel     KernelModel
+	// Graph optionally supplies a pre-built CSR (reused across NP runs).
+	Graph *graph.CSR
+}
+
+// RankBreakdown is one task's Fig 12 bar.
+type RankBreakdown struct {
+	Rank    int
+	Compute sim.Duration
+	Comm    sim.Duration
+}
+
+// Result carries the paper's metrics.
+type Result struct {
+	NP        int
+	Fabric    Fabric
+	TEPS      float64
+	Time      sim.Duration
+	Reached   int64
+	Levels    int
+	Breakdown []RankBreakdown
+	Parent    []int32
+}
+
+// Run executes the distributed BFS on the simulated cluster. The
+// traversal is the real algorithm of RankState; kernels are timed by the
+// model; update lists cross the simulated fabric as GPU-to-GPU messages
+// chunked at ChunkBytes, with an 8-byte count message per peer per level
+// (the size exchange) and a sum-allreduce as the termination check.
+func Run(cfg Config) (Result, error) {
+	if cfg.Kernel == (KernelModel{}) {
+		cfg.Kernel = DefaultKernel()
+	}
+	if cfg.Edgefactor == 0 {
+		cfg.Edgefactor = 16
+	}
+	g := cfg.Graph
+	if g == nil {
+		g = graph.BuildCSR(graph.Kronecker(cfg.Scale, cfg.Edgefactor, cfg.Seed))
+	}
+	root := g.MaxDegreeVertex()
+	numEdges := int64(cfg.Edgefactor) << cfg.Scale
+
+	eng := sim.New()
+	defer eng.Shutdown()
+
+	var cl *cluster.Cluster
+	var err error
+	if cfg.Fabric == FabricAPEnet {
+		cl, err = cluster.ClusterI(eng, nil, nil)
+	} else {
+		cl, err = cluster.ClusterII(eng, nil)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	if cfg.NP > len(cl.Nodes) {
+		return Result{}, fmt.Errorf("bfs: NP=%d exceeds cluster size %d", cfg.NP, len(cl.Nodes))
+	}
+
+	parts := graph.Partition1D(g.N, cfg.NP)
+	ranks := make([]*RankState, cfg.NP)
+	for r := 0; r < cfg.NP; r++ {
+		ranks[r] = NewRankState(g, parts[r], root)
+	}
+
+	res := Result{NP: cfg.NP, Fabric: cfg.Fabric, Breakdown: make([]RankBreakdown, cfg.NP)}
+	var levels int
+	var wallEnd sim.Time
+	bootErr := make(chan error, 1)
+
+	eng.Go("bfs.boot", func(p *sim.Proc) {
+		var comms []mpigpu.Comm
+		if cfg.Fabric == FabricAPEnet {
+			cs, err := mpigpu.NewAPEnetWorld(p, cl, cfg.NP, mpigpu.P2POn)
+			if err != nil {
+				bootErr <- err
+				return
+			}
+			for _, c := range cs {
+				comms = append(comms, c)
+			}
+		} else {
+			cs, err := mpigpu.NewIBWorld(cl, cfg.NP, 0, mpigpu.MVAPICH2())
+			if err != nil {
+				bootErr <- err
+				return
+			}
+			for _, c := range cs {
+				comms = append(comms, c)
+			}
+		}
+		for r := 0; r < cfg.NP; r++ {
+			r := r
+			eng.Go(fmt.Sprintf("bfs.rank%d", r), func(p *sim.Proc) {
+				lv := runRank(p, cfg, ranks[r], comms[r], &res.Breakdown[r])
+				if r == 0 {
+					levels = lv
+				}
+				if p.Now() > wallEnd {
+					wallEnd = p.Now()
+				}
+			})
+		}
+		bootErr <- nil
+	})
+	eng.Run()
+	select {
+	case err := <-bootErr:
+		if err != nil {
+			return Result{}, err
+		}
+	default:
+	}
+
+	parent := make([]int32, g.N)
+	for r := 0; r < cfg.NP; r++ {
+		copy(parent[parts[r].Lo:parts[r].Hi], ranks[r].Parent)
+		res.Breakdown[r].Rank = r
+	}
+	res.Parent = parent
+	res.Reached = CountReached(parent)
+	res.Levels = levels
+	res.Time = sim.Duration(wallEnd)
+	res.TEPS = float64(numEdges) / res.Time.Seconds()
+	return res, nil
+}
+
+// countMsg is the per-peer size-exchange payload.
+type countMsg struct {
+	chunks int
+}
+
+func runRank(p *sim.Proc, cfg Config, st *RankState, comm mpigpu.Comm, bd *RankBreakdown) int {
+	np := comm.Size()
+	me := comm.Rank()
+	km := cfg.Kernel
+	levels := 0
+
+	mpigpu.Barrier(p, comm)
+	start := p.Now()
+	_ = start
+
+	for {
+		levels++
+		// Expand kernel: real traversal work, modeled duration.
+		t0 := p.Now()
+		out, scanned := st.Expand(np)
+		expand := km.LevelOverhead +
+			sim.Duration(scanned)*km.EdgeCost +
+			sim.Duration(st.FrontierLen())*km.VertexCost
+		p.Sleep(expand)
+		tComp := p.Now().Sub(t0)
+
+		// Communication: size exchange + chunked update lists, GPU to GPU.
+		t1 := p.Now()
+		var incoming []Update
+		if np > 1 {
+			perChunk := int(ChunkBytes / UpdateBytes)
+			for d := 0; d < np; d++ {
+				if d == me {
+					continue
+				}
+				ups := out[d]
+				chunks := (len(ups) + perChunk - 1) / perChunk
+				comm.Isend(p, d, 8, false, countMsg{chunks: chunks})
+				for c := 0; c < chunks; c++ {
+					lo := c * perChunk
+					hi := lo + perChunk
+					if hi > len(ups) {
+						hi = len(ups)
+					}
+					comm.Isend(p, d, units.ByteSize((hi-lo)*UpdateBytes), true, ups[lo:hi])
+				}
+			}
+			for s := 0; s < np; s++ {
+				if s == me {
+					continue
+				}
+				hdr := comm.Recv(p, s)
+				n := hdr.Payload.(countMsg).chunks
+				for c := 0; c < n; c++ {
+					m := comm.Recv(p, s)
+					ups, ok := m.Payload.([]Update)
+					if !ok {
+						panic(fmt.Sprintf("bfs: rank %d expected chunk %d/%d from %d, got %T", me, c, n, s, m.Payload))
+					}
+					incoming = append(incoming, ups...)
+				}
+			}
+		}
+		tCommWait := p.Now().Sub(t1)
+
+		// Apply kernel.
+		t2 := p.Now()
+		got := st.Apply(incoming)
+		p.Sleep(sim.Duration(len(incoming)+got) * km.ApplyCost)
+		tComp += p.Now().Sub(t2)
+
+		// Termination check (counted as communication).
+		t3 := p.Now()
+		total := mpigpu.AllReduceSum(p, comm, int64(got))
+		tCommWait += p.Now().Sub(t3)
+
+		bd.Compute += tComp
+		bd.Comm += tCommWait
+		if total == 0 {
+			return levels
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"fmt"
+
+	"apenetsim/internal/nios"
+	"apenetsim/internal/pcie"
+	"apenetsim/internal/sim"
+	"apenetsim/internal/torus"
+	"apenetsim/internal/trace"
+	"apenetsim/internal/units"
+)
+
+// Card is one APEnet+ board: PCIe endpoint, DNP (torus links + router +
+// network interface) and the Nios II firmware.
+type Card struct {
+	Eng   *sim.Engine
+	Cfg   Config
+	Rec   *trace.Recorder
+	Name  string
+	Rank  int
+	Coord torus.Coord
+	Net   *Network
+
+	Fab     *pcie.Fabric
+	PCI     *pcie.Device
+	HostMem *pcie.Device
+	Nios    *nios.CPU
+
+	BufList *BufList
+
+	// SendCQ receives SendDone completions, RecvCQ receives RecvDone
+	// completions (unbounded: completion queues live in host memory).
+	SendCQ *sim.Queue[Completion]
+	RecvCQ *sim.Queue[Completion]
+
+	txq     *sim.Queue[*TXJob]
+	injectQ *sim.Queue[*Packet]
+	txFIFO  *sim.ByteFIFO
+	rxQ     *sim.Queue[*Packet]
+
+	// niosTXQ carries deferred per-packet firmware work (source V2P) that
+	// runs concurrently with the hardware TX engines but steals Nios time
+	// from RX processing.
+	niosTXQ *sim.Queue[sim.Duration]
+
+	hostReader *pcie.Reader
+	switchCh   *pcie.Channel // flush-mode drain
+	loopCh     *pcie.Channel // local injection->extraction port
+
+	// rxCredits is the link-level flow control pool: senders take a
+	// credit per packet before injecting toward this card and the RX
+	// engine returns it after processing.
+	rxCredits *sim.Semaphore
+
+	rxProgress map[uint64]units.ByteSize
+
+	nextJobID uint64
+	stats     CardStats
+	started   bool
+}
+
+// CardStats counts card activity.
+type CardStats struct {
+	JobsSubmitted int64
+	TXPackets     int64
+	TXBytes       int64
+	RXPackets     int64
+	RXBytes       int64
+	RXDrops       int64
+}
+
+// NewCard creates a card on a node's PCIe fabric and registers it in the
+// torus at coord. hostMem is the PCIe device representing host memory
+// (usually the root complex); gpus reachable for P2P are referenced by
+// jobs/buffers directly.
+func NewCard(eng *sim.Engine, cfg Config, rec *trace.Recorder, name string,
+	fab *pcie.Fabric, pci, hostMem *pcie.Device, net *Network, coord torus.Coord) (*Card, error) {
+
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Card{
+		Eng:     eng,
+		Cfg:     cfg,
+		Rec:     rec,
+		Name:    name,
+		Coord:   coord,
+		Net:     net,
+		Fab:     fab,
+		PCI:     pci,
+		HostMem: hostMem,
+		Nios:    nios.New(eng, name+".nios", cfg.NiosClockMHz),
+		BufList: &BufList{},
+
+		SendCQ: sim.NewQueue[Completion](eng, name+".sendcq", 0),
+		RecvCQ: sim.NewQueue[Completion](eng, name+".recvcq", 0),
+
+		txq:     sim.NewQueue[*TXJob](eng, name+".txq", 64),
+		injectQ: sim.NewQueue[*Packet](eng, name+".injq", 0),
+		txFIFO:  sim.NewByteFIFO(eng, name+".txfifo", int64(cfg.TXFIFOBytes)),
+		rxQ:     sim.NewQueue[*Packet](eng, name+".rxq", 0),
+		niosTXQ: sim.NewQueue[sim.Duration](eng, name+".niostxq", 0),
+
+		switchCh: pcie.NewChannel(eng, name+".switch", cfg.SwitchBandwidth),
+		loopCh:   pcie.NewChannel(eng, name+".loop", cfg.LinkBandwidth),
+
+		rxProgress: make(map[uint64]units.ByteSize),
+	}
+	credits := cfg.RXQueuePackets
+	if credits <= 0 {
+		credits = 16
+	}
+	c.rxCredits = sim.NewSemaphore(eng, int64(credits))
+	c.hostReader = fab.NewReader(pci, hostMem, cfg.HostReadOutstanding, cfg.HostReadChunk)
+	net.register(c)
+	return c, nil
+}
+
+// Start spawns the card's engine processes. Call once after construction.
+func (c *Card) Start() {
+	if c.started {
+		panic("core: card started twice")
+	}
+	c.started = true
+	c.Eng.Go(c.Name+".tx", c.runTX)
+	c.Eng.Go(c.Name+".inject", c.runInjector)
+	c.Eng.Go(c.Name+".rx", c.runRX)
+	c.Eng.Go(c.Name+".niosTX", c.runNiosTXWorker)
+}
+
+// Stats returns a snapshot of activity counters.
+func (c *Card) Stats() CardStats { return c.stats }
+
+// RegisterBuffer pins and registers a buffer with the card, paying the
+// driver/firmware cost; the entry becomes visible to the RX path
+// (BUF_LIST) immediately after.
+func (c *Card) RegisterBuffer(p *sim.Proc, e *BufEntry) error {
+	if e.Size <= 0 {
+		return fmt.Errorf("core: registering empty buffer")
+	}
+	if e.Kind == GPUMem && e.GPU == nil {
+		return fmt.Errorf("core: GPU buffer without device")
+	}
+	cost := c.Cfg.RegHostCost
+	if e.Kind == GPUMem {
+		cost = c.Cfg.RegGPUCost
+	}
+	p.Sleep(cost)
+	c.BufList.Register(e)
+	return nil
+}
+
+// Submit enqueues a PUT job, blocking while the card's TX queue is full
+// (the paper's benchmark loop "enqueuing as many RDMA PUT as possible as
+// to keep the transmission queue constantly full" exercises exactly this).
+// The per-message kernel-driver cost is paid by the caller, modeling the
+// synchronous part of the PUT API.
+func (c *Card) Submit(p *sim.Proc, job *TXJob) {
+	if job.Bytes <= 0 {
+		panic("core: empty job")
+	}
+	if job.SrcKind == GPUMem && job.SrcGPU == nil {
+		panic("core: GPU job without source device")
+	}
+	c.nextJobID++
+	job.ID = c.nextJobID<<16 | uint64(c.Rank&0xffff) // unique across cards
+	job.srcRank = c.Rank
+	job.Submitted = p.Now()
+	p.Sleep(c.Cfg.TXDriverPerMessage)
+	c.stats.JobsSubmitted++
+	c.txq.Put(p, job)
+}
+
+// packetize splits a job into packets of at most MaxPayload.
+func (c *Card) packetize(job *TXJob) []*Packet {
+	var pkts []*Packet
+	remaining := job.Bytes
+	seq := 0
+	for remaining > 0 {
+		sz := c.Cfg.MaxPayload
+		if sz > remaining {
+			sz = remaining
+		}
+		remaining -= sz
+		pkts = append(pkts, &Packet{Job: job, Seq: seq, Bytes: sz, Last: remaining == 0})
+		seq++
+	}
+	return pkts
+}
+
+// runTX dispatches jobs to the host or GPU transmission engines. A single
+// dispatcher models the card's single TX context: jobs serialize, packets
+// within a job pipeline.
+func (c *Card) runTX(p *sim.Proc) {
+	for {
+		job := c.txq.Get(p)
+		switch job.SrcKind {
+		case HostMem:
+			c.txHost(p, job)
+		case GPUMem:
+			c.txGPU(p, job)
+		}
+	}
+}
+
+// runNiosTXWorker executes deferred per-packet TX firmware work (source
+// V2P translation, descriptor push). It contends with RX processing for
+// the Nios II — the mechanism behind the loop-back bandwidth loss and the
+// v2/v3 difference in Fig 5.
+func (c *Card) runNiosTXWorker(p *sim.Proc) {
+	for {
+		cost := c.niosTXQ.Get(p)
+		c.Nios.Exec(p, "GPU_P2P_TX", cost)
+	}
+}
+
+// emitPacketTX hands a fully-fetched packet to the injector.
+func (c *Card) emitPacketTX(p *sim.Proc, pkt *Packet) {
+	c.injectQ.Put(p, pkt)
+}
+
+func (c *Card) wireSize(pkt *Packet) units.ByteSize {
+	return pkt.Bytes + c.Cfg.HeaderBytes
+}
+
+// completePacketTX accounts an injected packet and delivers the local
+// SendDone completion for the job's last packet.
+func (c *Card) completePacketTX(pkt *Packet) {
+	c.stats.TXPackets++
+	c.stats.TXBytes += int64(pkt.Bytes)
+	if pkt.Last {
+		c.SendCQ.TryPut(Completion{
+			Kind:    SendDone,
+			JobID:   pkt.Job.ID,
+			SrcRank: c.Rank,
+			DstRank: pkt.Job.DstRank,
+			DstAddr: pkt.Job.DstAddr,
+			Bytes:   pkt.Job.Bytes,
+			At:      c.Eng.Now(),
+		})
+	}
+}

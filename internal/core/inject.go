@@ -1,0 +1,55 @@
+package core
+
+import (
+	"apenetsim/internal/sim"
+)
+
+// runInjector drains fully-fetched packets from the TX path into the
+// router: it serializes on the first link hop (the card has one injection
+// port per route), frees TX FIFO space as the packet leaves, and books the
+// remaining hops as cut-through reservations. In flush mode the internal
+// switch discards packets (the paper's raw memory-read measurement).
+func (c *Card) runInjector(p *sim.Proc) {
+	for {
+		pkt := c.injectQ.Get(p)
+		wire := c.wireSize(pkt)
+
+		if c.Cfg.FlushAtSwitch {
+			_, end := c.switchCh.ReserveRaw(p.Now(), wire)
+			p.SleepUntil(end)
+			c.txFIFO.Get(p, int64(wire))
+			c.completePacketTX(pkt)
+			continue
+		}
+
+		dstCoord := c.Net.Dims.CoordOf(pkt.Job.DstRank)
+		if pkt.Job.DstRank == c.Rank {
+			// Local injection -> extraction through the internal switch.
+			c.rxCredits.Acquire(p, 1)
+			_, end := c.loopCh.ReserveRaw(p.Now(), wire)
+			p.SleepUntil(end)
+			c.txFIFO.Get(p, int64(wire))
+			c.completePacketTX(pkt)
+			arrival := end.Add(c.Cfg.LoopbackLatency)
+			c.Eng.At(arrival, func() { c.rxQ.TryPut(pkt) })
+			continue
+		}
+
+		route := c.Net.Dims.Route(c.Coord, dstCoord)
+		dest := c.Net.Card(pkt.Job.DstRank)
+		if dest == nil {
+			panic("core: packet routed to unregistered card")
+		}
+		// Link-level flow control: wait for receive buffering at the
+		// destination before injecting.
+		dest.rxCredits.Acquire(p, 1)
+		first := c.Net.Channel(c.Rank, route[0])
+		_, end := first.ReserveRaw(p.Now(), wire)
+		p.SleepUntil(end)
+		c.txFIFO.Get(p, int64(wire))
+		c.completePacketTX(pkt)
+
+		_, arrival := c.Net.route(c.Coord, route, end, wire)
+		c.Eng.At(arrival, func() { dest.rxQ.TryPut(pkt) })
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+
+	"apenetsim/internal/pcie"
+	"apenetsim/internal/sim"
+	"apenetsim/internal/torus"
+	"apenetsim/internal/units"
+)
+
+// Network is the 3D torus connecting a set of cards: six directed link
+// channels per node plus the registry used by the injectors to route
+// packets hop by hop (dimension-ordered, like the APEnet+ router).
+type Network struct {
+	Eng  *sim.Engine
+	Dims torus.Dims
+
+	linkBW units.Bandwidth
+	hopLat sim.Duration
+
+	cards map[int]*Card
+	links map[linkKey]*pcie.Channel
+}
+
+type linkKey struct {
+	rank int
+	dir  torus.Dir
+}
+
+// NewNetwork creates an empty torus of the given dimensions. Link
+// bandwidth and hop latency default from cfg but can differ per network
+// (the paper uses both 28 Gbps and 20 Gbps link configurations).
+func NewNetwork(eng *sim.Engine, dims torus.Dims, linkBW units.Bandwidth, hopLat sim.Duration) *Network {
+	if !dims.Valid() {
+		panic("core: invalid torus dimensions")
+	}
+	return &Network{
+		Eng:    eng,
+		Dims:   dims,
+		linkBW: linkBW,
+		hopLat: hopLat,
+		cards:  make(map[int]*Card),
+		links:  make(map[linkKey]*pcie.Channel),
+	}
+}
+
+// register wires a card into the torus, creating its six outgoing links.
+func (n *Network) register(c *Card) {
+	if !n.Dims.Contains(c.Coord) {
+		panic(fmt.Sprintf("core: card coord %v outside torus %v", c.Coord, n.Dims))
+	}
+	rank := n.Dims.Rank(c.Coord)
+	if _, dup := n.cards[rank]; dup {
+		panic(fmt.Sprintf("core: duplicate card at %v", c.Coord))
+	}
+	c.Rank = rank
+	n.cards[rank] = c
+	for d := torus.Dir(0); d < torus.NumDirs; d++ {
+		name := fmt.Sprintf("torus.%d.%s", rank, d)
+		n.links[linkKey{rank, d}] = pcie.NewChannel(n.Eng, name, n.linkBW)
+	}
+}
+
+// Card returns the card at a rank, or nil.
+func (n *Network) Card(rank int) *Card { return n.cards[rank] }
+
+// Cards returns the number of registered cards.
+func (n *Network) Cards() int { return len(n.cards) }
+
+// Channel returns the outgoing link channel of rank in direction dir.
+func (n *Network) Channel(rank int, dir torus.Dir) *pcie.Channel {
+	ch := n.links[linkKey{rank, dir}]
+	if ch == nil {
+		panic(fmt.Sprintf("core: no link at rank %d dir %v", rank, dir))
+	}
+	return ch
+}
+
+// HopLatency returns the per-hop forwarding latency.
+func (n *Network) HopLatency() sim.Duration { return n.hopLat }
+
+// LinkBandwidth returns the per-direction link bandwidth.
+func (n *Network) LinkBandwidth() units.Bandwidth { return n.linkBW }
+
+// route books a packet's wire traversal from src along hops, returning the
+// arrival time at the destination. The first hop must already have been
+// reserved by the injector (source serialization); this handles hops 2..n
+// as cut-through reservations.
+func (n *Network) route(srcCoord torus.Coord, hops []torus.Dir, firstHopEnd sim.Time, wire units.ByteSize) (torus.Coord, sim.Time) {
+	cur := n.Dims.Neighbor(srcCoord, hops[0])
+	arrival := firstHopEnd.Add(n.hopLat)
+	for _, dir := range hops[1:] {
+		ch := n.Channel(n.Dims.Rank(cur), dir)
+		_, end := ch.ReserveRaw(arrival, wire)
+		arrival = end.Add(n.hopLat)
+		cur = n.Dims.Neighbor(cur, dir)
+	}
+	return cur, arrival
+}

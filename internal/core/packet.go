@@ -1,0 +1,123 @@
+package core
+
+import (
+	"apenetsim/internal/gpu"
+	"apenetsim/internal/sim"
+	"apenetsim/internal/units"
+)
+
+// MemKind distinguishes host from GPU buffers; the BUF_LIST uses it to
+// choose the RX write path, the PUT API uses it as the compile-time source
+// flag the paper describes (§IV.A).
+type MemKind int
+
+const (
+	HostMem MemKind = iota
+	GPUMem
+)
+
+func (k MemKind) String() string {
+	if k == GPUMem {
+		return "GPU"
+	}
+	return "Host"
+}
+
+// TXJob is one RDMA PUT submitted to the card.
+type TXJob struct {
+	ID      uint64
+	SrcKind MemKind
+	SrcGPU  *gpu.Device // required when SrcKind == GPUMem
+	DstRank int
+	DstAddr uint64 // destination UVA virtual address
+	Bytes   units.ByteSize
+	Payload any // application data carried to the receiver's completion
+
+	// Submitted is stamped by the card when the driver accepts the job.
+	Submitted sim.Time
+
+	srcRank int
+}
+
+// Packet is one network packet of a fragmented job.
+type Packet struct {
+	Job   *TXJob
+	Seq   int
+	Bytes units.ByteSize
+	Last  bool
+}
+
+// CompKind is the completion type.
+type CompKind int
+
+const (
+	// SendDone: the job's last packet left the card (local completion).
+	SendDone CompKind = iota
+	// RecvDone: the job's last byte was written to the target buffer.
+	RecvDone
+)
+
+// Completion is an event delivered to a card's completion queues.
+type Completion struct {
+	Kind    CompKind
+	JobID   uint64
+	SrcRank int
+	DstRank int
+	DstAddr uint64
+	Bytes   units.ByteSize
+	At      sim.Time
+	Payload any
+}
+
+// BufEntry is one registered buffer in the card's BUF_LIST.
+type BufEntry struct {
+	Addr uint64
+	Size units.ByteSize
+	Kind MemKind
+	GPU  *gpu.Device // for GPUMem entries
+}
+
+// Contains reports whether [addr, addr+n) falls inside the buffer.
+func (e *BufEntry) Contains(addr uint64, n units.ByteSize) bool {
+	return addr >= e.Addr && addr+uint64(n) <= e.Addr+uint64(e.Size)
+}
+
+// BufList models the card's registered-buffer table. Lookup is a linear
+// scan — the paper calls out that RX processing time "linearly scales
+// with the number of registered buffers", and the returned scan count
+// feeds the firmware cost model.
+type BufList struct {
+	entries []*BufEntry
+}
+
+// Register appends an entry and returns its index.
+func (b *BufList) Register(e *BufEntry) int {
+	b.entries = append(b.entries, e)
+	return len(b.entries) - 1
+}
+
+// Unregister removes an entry (by identity).
+func (b *BufList) Unregister(e *BufEntry) bool {
+	for i, x := range b.entries {
+		if x == e {
+			b.entries = append(b.entries[:i], b.entries[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Lookup scans for the buffer containing [addr, addr+n). It returns the
+// entry, the number of entries scanned (for the firmware cost model), and
+// whether the lookup succeeded.
+func (b *BufList) Lookup(addr uint64, n units.ByteSize) (*BufEntry, int, bool) {
+	for i, e := range b.entries {
+		if e.Contains(addr, n) {
+			return e, i + 1, true
+		}
+	}
+	return nil, len(b.entries), false
+}
+
+// Len returns the number of registered buffers.
+func (b *BufList) Len() int { return len(b.entries) }

@@ -1,0 +1,150 @@
+// Package cuda models the slice of the CUDA runtime the paper's software
+// depends on: per-GPU contexts, synchronous and asynchronous memcpy with
+// their very different host-blocking costs, streams with in-order
+// execution and events (the ingredients of communication/computation
+// overlap), and UVA-style pointer classification.
+package cuda
+
+import (
+	"apenetsim/internal/gpu"
+	"apenetsim/internal/pcie"
+	"apenetsim/internal/sim"
+	"apenetsim/internal/units"
+)
+
+// Context binds a GPU to its node's PCIe paths.
+type Context struct {
+	Eng     *sim.Engine
+	GPU     *gpu.Device
+	Fab     *pcie.Fabric
+	HostMem *pcie.Device
+
+	d2hPath *pcie.Path
+	h2dPath *pcie.Path
+
+	nextStream int
+}
+
+// NewContext creates a context for g on its fabric.
+func NewContext(eng *sim.Engine, fab *pcie.Fabric, g *gpu.Device, hostMem *pcie.Device) *Context {
+	return &Context{
+		Eng:     eng,
+		GPU:     g,
+		Fab:     fab,
+		HostMem: hostMem,
+		d2hPath: fab.Path(g.PCI, hostMem),
+		h2dPath: fab.Path(hostMem, g.PCI),
+	}
+}
+
+// MemcpyD2H is a synchronous device-to-host copy: the calling proc blocks
+// for the API overhead plus the DMA transfer. The ~10 µs overhead is what
+// makes small-message staging expensive (Fig 9: 16.8 µs vs 8.2 µs).
+func (c *Context) MemcpyD2H(p *sim.Proc, n units.ByteSize) {
+	p.Sleep(c.GPU.Spec.MemcpySyncD2H)
+	done := c.GPU.DMATransfer(p.Now(), gpu.D2H, n, c.d2hPath)
+	p.SleepUntil(done)
+}
+
+// MemcpyH2D is a synchronous host-to-device copy; posted writes make its
+// overhead far smaller than D2H.
+func (c *Context) MemcpyH2D(p *sim.Proc, n units.ByteSize) {
+	p.Sleep(c.GPU.Spec.MemcpySyncH2D)
+	done := c.GPU.DMATransfer(p.Now(), gpu.H2D, n, c.h2dPath)
+	p.SleepUntil(done)
+}
+
+// Event marks a point in a stream's execution.
+type Event struct {
+	done bool
+	at   sim.Time
+	sig  *sim.Signal
+}
+
+// Wait blocks p until the event completes; it returns the completion time.
+func (e *Event) Wait(p *sim.Proc) sim.Time {
+	for !e.done {
+		e.sig.Wait(p, "cuda.event")
+	}
+	return e.at
+}
+
+// Done reports completion without blocking.
+func (e *Event) Done() bool { return e.done }
+
+// At returns the completion time (valid once Done).
+func (e *Event) At() sim.Time { return e.at }
+
+type op struct {
+	run func(p *sim.Proc)
+	ev  *Event
+}
+
+// Stream is an in-order asynchronous execution queue, as in CUDA. Work on
+// different streams proceeds concurrently (Fermi supports concurrent
+// kernels and copy/compute overlap), which is exactly what the HSG code
+// relies on to hide boundary computation and communication.
+type Stream struct {
+	ctx  *Context
+	name string
+	q    *sim.Queue[op]
+}
+
+// NewStream creates and starts a stream.
+func (c *Context) NewStream(name string) *Stream {
+	s := &Stream{ctx: c, name: name, q: sim.NewQueue[op](c.Eng, name, 0)}
+	c.Eng.Go(name, s.run)
+	return s
+}
+
+func (s *Stream) run(p *sim.Proc) {
+	for {
+		o := s.q.Get(p)
+		o.run(p)
+		o.ev.done = true
+		o.ev.at = p.Now()
+		o.ev.sig.Broadcast()
+	}
+}
+
+func (s *Stream) enqueue(p *sim.Proc, run func(*sim.Proc)) *Event {
+	ev := &Event{sig: sim.NewSignal(s.ctx.Eng)}
+	s.q.Put(p, op{run: run, ev: ev})
+	return ev
+}
+
+// Launch enqueues a kernel of the given duration. Launch overhead is paid
+// on the device timeline, per launch.
+func (s *Stream) Launch(p *sim.Proc, name string, d sim.Duration) *Event {
+	g := s.ctx.GPU
+	return s.enqueue(p, func(sp *sim.Proc) {
+		g.CountKernel()
+		sp.Sleep(g.Spec.KernelLaunch + d)
+	})
+}
+
+// MemcpyD2HAsync enqueues an asynchronous device-to-host copy.
+func (s *Stream) MemcpyD2HAsync(p *sim.Proc, n units.ByteSize) *Event {
+	ctx := s.ctx
+	return s.enqueue(p, func(sp *sim.Proc) {
+		sp.Sleep(ctx.GPU.Spec.MemcpyAsyncOverhead)
+		done := ctx.GPU.DMATransfer(sp.Now(), gpu.D2H, n, ctx.d2hPath)
+		sp.SleepUntil(done)
+	})
+}
+
+// MemcpyH2DAsync enqueues an asynchronous host-to-device copy.
+func (s *Stream) MemcpyH2DAsync(p *sim.Proc, n units.ByteSize) *Event {
+	ctx := s.ctx
+	return s.enqueue(p, func(sp *sim.Proc) {
+		sp.Sleep(ctx.GPU.Spec.MemcpyAsyncOverhead)
+		done := ctx.GPU.DMATransfer(sp.Now(), gpu.H2D, n, ctx.h2dPath)
+		sp.SleepUntil(done)
+	})
+}
+
+// Synchronize blocks until every operation enqueued so far completes.
+func (s *Stream) Synchronize(p *sim.Proc) {
+	ev := s.enqueue(p, func(*sim.Proc) {})
+	ev.Wait(p)
+}

@@ -1,0 +1,116 @@
+package cuda
+
+import (
+	"math"
+	"testing"
+
+	"apenetsim/internal/gpu"
+	"apenetsim/internal/pcie"
+	"apenetsim/internal/sim"
+	"apenetsim/internal/units"
+)
+
+func rig() (*sim.Engine, *Context) {
+	eng := sim.New()
+	fab := pcie.NewFabric(eng, nil, "n0", "rc")
+	sw := fab.Attach("plx", fab.Root(), pcie.Gen2x16, 150*sim.Nanosecond)
+	g := gpu.New(eng, fab, "gpu0", gpu.Fermi2050(), sw, pcie.Gen2x16, 150*sim.Nanosecond)
+	return eng, NewContext(eng, fab, g, fab.Root())
+}
+
+func TestSyncMemcpyOverheads(t *testing.T) {
+	eng, ctx := rig()
+	var d2h, h2d sim.Duration
+	eng.Go("t", func(p *sim.Proc) {
+		t0 := p.Now()
+		ctx.MemcpyD2H(p, 32)
+		d2h = p.Now().Sub(t0)
+		t0 = p.Now()
+		ctx.MemcpyH2D(p, 32)
+		h2d = p.Now().Sub(t0)
+	})
+	eng.Run()
+	// Small-copy times are dominated by the API overheads: ~10 us D2H
+	// (the constant the paper derives in §V.C), well under 2 us H2D.
+	if d2h < 10*sim.Microsecond || d2h > 12*sim.Microsecond {
+		t.Fatalf("small D2H = %v, want ~10us", d2h)
+	}
+	if h2d > 2*sim.Microsecond {
+		t.Fatalf("small H2D = %v, want <2us", h2d)
+	}
+}
+
+func TestLargeMemcpyBandwidth(t *testing.T) {
+	eng, ctx := rig()
+	var elapsed sim.Duration
+	eng.Go("t", func(p *sim.Proc) {
+		t0 := p.Now()
+		ctx.MemcpyD2H(p, 64*units.MB)
+		elapsed = p.Now().Sub(t0)
+	})
+	eng.Run()
+	bw := units.Rate(64*units.MB, elapsed)
+	want := float64(gpu.Fermi2050().DMABandwidth)
+	if math.Abs(float64(bw)-want)/want > 0.05 {
+		t.Fatalf("large D2H bw = %v, want ~5.5 GB/s", bw)
+	}
+}
+
+func TestStreamInOrderAndEvents(t *testing.T) {
+	eng, ctx := rig()
+	var k1At, k2At sim.Time
+	eng.Go("t", func(p *sim.Proc) {
+		s := ctx.NewStream("s0")
+		e1 := s.Launch(p, "k1", 100*sim.Microsecond)
+		e2 := s.Launch(p, "k2", 50*sim.Microsecond)
+		k2At = e2.Wait(p)
+		k1At = e1.At()
+		if !e1.Done() {
+			t.Error("e1 must be done before e2")
+		}
+	})
+	eng.Run()
+	if k1At >= k2At {
+		t.Fatalf("stream out of order: k1 at %v, k2 at %v", k1At, k2At)
+	}
+	// In-order: k2 completes ~155us (2 launches + 150us work).
+	if k2At < sim.Time(150*sim.Microsecond) {
+		t.Fatalf("k2 at %v, kernels overlapped on one stream", k2At)
+	}
+}
+
+func TestStreamsRunConcurrently(t *testing.T) {
+	eng, ctx := rig()
+	var doneA, doneB sim.Time
+	eng.Go("t", func(p *sim.Proc) {
+		a := ctx.NewStream("a")
+		b := ctx.NewStream("b")
+		ea := a.Launch(p, "bulk", 1000*sim.Microsecond)
+		eb := b.Launch(p, "boundary", 100*sim.Microsecond)
+		doneB = eb.Wait(p)
+		doneA = ea.Wait(p)
+	})
+	eng.Run()
+	// The boundary kernel must finish while the bulk kernel runs — the
+	// overlap scheme of the HSG application.
+	if doneB >= doneA {
+		t.Fatalf("no cross-stream concurrency: boundary %v, bulk %v", doneB, doneA)
+	}
+	if doneA > sim.Time(1100*sim.Microsecond) {
+		t.Fatalf("bulk kernel delayed by other stream: %v", doneA)
+	}
+}
+
+func TestStreamSynchronize(t *testing.T) {
+	eng, ctx := rig()
+	eng.Go("t", func(p *sim.Proc) {
+		s := ctx.NewStream("s")
+		s.Launch(p, "k", 200*sim.Microsecond)
+		s.MemcpyD2HAsync(p, 1*units.MB)
+		s.Synchronize(p)
+		if p.Now() < sim.Time(200*sim.Microsecond) {
+			t.Errorf("synchronize returned early at %v", p.Now())
+		}
+	})
+	eng.Run()
+}

@@ -1,0 +1,89 @@
+package gpu
+
+import (
+	"fmt"
+	"sort"
+
+	"apenetsim/internal/units"
+)
+
+// Allocator manages a linear address space of device memory with first-fit
+// allocation and span coalescing on free. Offsets are device-local; the
+// CUDA runtime layer maps them into the node-wide UVA space.
+type Allocator struct {
+	size  units.ByteSize
+	align units.ByteSize
+	free  []span // sorted by offset, coalesced
+	used  map[int64]units.ByteSize
+	inUse units.ByteSize
+}
+
+type span struct {
+	off, len int64
+}
+
+// NewAllocator returns an allocator over size bytes with the given
+// alignment (power of two).
+func NewAllocator(size, align units.ByteSize) *Allocator {
+	if size <= 0 || align <= 0 || (align&(align-1)) != 0 {
+		panic("gpu: bad allocator parameters")
+	}
+	return &Allocator{
+		size:  size,
+		align: align,
+		free:  []span{{0, int64(size)}},
+		used:  map[int64]units.ByteSize{},
+	}
+}
+
+// Alloc reserves n bytes and returns the device offset.
+func (a *Allocator) Alloc(n units.ByteSize) (int64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("gpu: alloc of %d bytes", n)
+	}
+	need := (int64(n) + int64(a.align) - 1) &^ (int64(a.align) - 1)
+	for i, s := range a.free {
+		if s.len >= need {
+			off := s.off
+			if s.len == need {
+				a.free = append(a.free[:i], a.free[i+1:]...)
+			} else {
+				a.free[i] = span{s.off + need, s.len - need}
+			}
+			a.used[off] = units.ByteSize(need)
+			a.inUse += units.ByteSize(need)
+			return off, nil
+		}
+	}
+	return 0, fmt.Errorf("gpu: out of device memory (want %v, %v free of %v)", n, a.size-a.inUse, a.size)
+}
+
+// Free releases an allocation made by Alloc.
+func (a *Allocator) Free(off int64) error {
+	n, ok := a.used[off]
+	if !ok {
+		return fmt.Errorf("gpu: free of unallocated offset %#x", off)
+	}
+	delete(a.used, off)
+	a.inUse -= n
+	a.free = append(a.free, span{off, int64(n)})
+	sort.Slice(a.free, func(i, j int) bool { return a.free[i].off < a.free[j].off })
+	// Coalesce adjacent spans.
+	out := a.free[:1]
+	for _, s := range a.free[1:] {
+		top := &out[len(out)-1]
+		if top.off+top.len == s.off {
+			top.len += s.len
+		} else {
+			out = append(out, s)
+		}
+	}
+	a.free = out
+	return nil
+}
+
+// InUse returns the number of allocated bytes (after alignment rounding).
+func (a *Allocator) InUse() units.ByteSize { return a.inUse }
+
+// Size returns the managed capacity.
+func (a *Allocator) Size() units.ByteSize { return a.size }

@@ -1,0 +1,154 @@
+// Package gpu models NVIDIA Fermi- and Kepler-class GPUs at the level the
+// paper interacts with them: device memory with 64 KB pages, the GPUDirect
+// peer-to-peer mailbox read protocol, the BAR1 memory-mapped aperture, the
+// copy (DMA) engines behind cudaMemcpy, and kernel execution as timed
+// occupancy. Numerical kernels themselves run for real in the application
+// packages; this package supplies their cost and data-movement behaviour.
+package gpu
+
+import (
+	"apenetsim/internal/sim"
+	"apenetsim/internal/units"
+)
+
+// Arch is a GPU architecture generation.
+type Arch int
+
+const (
+	// Fermi (GF1xx): P2P reads work but are slow and quirky; BAR1 reads
+	// are nearly unusable (the paper measured 150 MB/s).
+	Fermi Arch = iota
+	// Kepler (GK1xx): slightly faster P2P; BAR1 becomes a first-class
+	// path (CUDA 5.0 public API).
+	Kepler
+)
+
+func (a Arch) String() string {
+	if a == Fermi {
+		return "Fermi"
+	}
+	return "Kepler"
+}
+
+// Spec is the performance-relevant description of a GPU model. The
+// defaults below are calibrated from constants the paper itself states
+// (§V.A-B): 1.8 µs read head latency, 1536 MB/s sustained P2P response
+// rate, ~5.5 GB/s DMA-engine bandwidth, ~10 µs synchronous cudaMemcpy
+// overhead, 64 KB P2P pages.
+type Spec struct {
+	Name string
+	Arch Arch
+
+	MemBytes units.ByteSize // device memory capacity
+	ECC      bool
+
+	// PageSize is the granularity of P2P page descriptors (64 KB).
+	PageSize units.ByteSize
+
+	// P2P read protocol (two-way mailbox protocol; see core.GPUP2PTX).
+	P2PReadHeadLatency sim.Duration    // request-to-first-data pipe latency
+	P2PResponseRate    units.Bandwidth // sustained response streaming rate
+	P2PReqSize         units.ByteSize  // bytes returned per read descriptor
+	P2PRespChunk       units.ByteSize  // response write-burst granularity
+
+	// P2P write path: per inbound packet cost of the sliding-window
+	// check/switch the paper blames for the ~10% G-G receive penalty.
+	P2PWriteOverhead sim.Duration
+
+	// BAR1 aperture.
+	BAR1Size        units.ByteSize
+	BAR1CplLatency  sim.Duration   // read completion latency per chunk
+	BAR1ReadChunk   units.ByteSize // max read completion chunk
+	BAR1Outstanding int            // in-flight reads the aperture sustains
+	BAR1MapCost     sim.Duration   // one-time cost to map a buffer (GPU reconfiguration)
+
+	// Copy engines (cudaMemcpy). Synchronous D2H pays a full fence +
+	// readback round trip (~10 µs, the constant the paper derives from its
+	// staging latency); synchronous H2D is posted writes and far cheaper.
+	DMABandwidth        units.Bandwidth
+	MemcpySyncD2H       sim.Duration // host-blocking overhead, device-to-host
+	MemcpySyncH2D       sim.Duration // host-blocking overhead, host-to-device
+	MemcpyAsyncOverhead sim.Duration // per-op overhead of an async (stream) copy
+
+	// Kernel launch overhead, charged per launch.
+	KernelLaunch sim.Duration
+}
+
+// Fermi2050 returns the spec of the Tesla C2050 (3 GB) used on Cluster I.
+func Fermi2050() Spec {
+	return Spec{
+		Name:     "Fermi2050",
+		Arch:     Fermi,
+		MemBytes: 3 * units.GB,
+
+		PageSize: 64 * units.KB,
+
+		P2PReadHeadLatency: sim.FromMicros(1.8),
+		P2PResponseRate:    1536 * units.MBps,
+		P2PReqSize:         128,
+		P2PRespChunk:       256,
+		P2PWriteOverhead:   sim.FromNanos(330),
+
+		BAR1Size:        256 * units.MB,
+		BAR1CplLatency:  sim.FromNanos(250),
+		BAR1ReadChunk:   128,
+		BAR1Outstanding: 1,
+		BAR1MapCost:     sim.FromMicros(120),
+
+		DMABandwidth:        5500 * units.MBps,
+		MemcpySyncD2H:       sim.FromMicros(10),
+		MemcpySyncH2D:       sim.FromMicros(0.5),
+		MemcpyAsyncOverhead: sim.FromMicros(2),
+
+		KernelLaunch: sim.FromMicros(5),
+	}
+}
+
+// Fermi2070 is the 6 GB variant (one node of Cluster I has it; it is what
+// lets L=512 HSG lattices run on a single GPU).
+func Fermi2070() Spec {
+	s := Fermi2050()
+	s.Name = "Fermi2070"
+	s.MemBytes = 6 * units.GB
+	return s
+}
+
+// Fermi2075 is the Cluster II GPU (Tesla S2075 trays).
+func Fermi2075() Spec {
+	s := Fermi2070()
+	s.Name = "Fermi2075"
+	return s
+}
+
+// KeplerK20 returns a pre-release K20 (GK110) spec, ECC enabled, matching
+// the paper's early Kepler measurements: P2P read ~10% faster than Fermi,
+// BAR1 read a factor ~10 faster (1.6 GB/s).
+func KeplerK20() Spec {
+	return Spec{
+		Name:     "KeplerK20",
+		Arch:     Kepler,
+		MemBytes: 5 * units.GB,
+		ECC:      true,
+
+		PageSize: 64 * units.KB,
+
+		P2PReadHeadLatency: sim.FromMicros(1.5),
+		P2PResponseRate:    1740 * units.MBps,
+		P2PReqSize:         128,
+		P2PRespChunk:       256,
+		P2PWriteOverhead:   sim.FromNanos(300),
+
+		BAR1Size:        256 * units.MB,
+		BAR1CplLatency:  sim.FromNanos(700),
+		BAR1ReadChunk:   256,
+		BAR1Outstanding: 8,
+		BAR1MapCost:     sim.FromMicros(120),
+
+		DMABandwidth:        5800 * units.MBps,
+		MemcpySyncD2H:       sim.FromMicros(10),
+		MemcpySyncH2D:       sim.FromMicros(0.5),
+		MemcpyAsyncOverhead: sim.FromMicros(2),
+
+		KernelLaunch: sim.FromMicros(5),
+	}
+}

@@ -1,0 +1,162 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKroneckerDeterministicAndSized(t *testing.T) {
+	a := Kronecker(10, 16, 42)
+	b := Kronecker(10, 16, 42)
+	if a.NumEdges() != 16<<10 {
+		t.Fatalf("edges = %d", a.NumEdges())
+	}
+	for i := range a.Src {
+		if a.Src[i] != b.Src[i] || a.Dst[i] != b.Dst[i] {
+			t.Fatal("generator not deterministic")
+		}
+	}
+	c := Kronecker(10, 16, 43)
+	same := true
+	for i := range a.Src {
+		if a.Src[i] != c.Src[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestKroneckerSkew(t *testing.T) {
+	// R-MAT graphs are heavy-tailed: the max degree should far exceed
+	// the average.
+	g := BuildCSR(Kronecker(12, 16, 7))
+	avg := float64(len(g.Col)) / float64(g.N)
+	maxDeg := g.Degree(g.MaxDegreeVertex())
+	if float64(maxDeg) < 10*avg {
+		t.Fatalf("max degree %d not skewed vs avg %.1f", maxDeg, avg)
+	}
+}
+
+func TestBuildCSRSymmetric(t *testing.T) {
+	el := &EdgeList{NumVertices: 4, Src: []int32{0, 1, 2}, Dst: []int32{1, 2, 0}}
+	g := BuildCSR(el)
+	if int64(len(g.Col)) != 6 {
+		t.Fatalf("directed edges = %d, want 6", len(g.Col))
+	}
+	// Every edge present in both directions.
+	has := func(u, v int32) bool {
+		for _, w := range g.Neighbors(u) {
+			if w == v {
+				return true
+			}
+		}
+		return false
+	}
+	for i := range el.Src {
+		if !has(el.Src[i], el.Dst[i]) || !has(el.Dst[i], el.Src[i]) {
+			t.Fatalf("edge %d<->%d missing a direction", el.Src[i], el.Dst[i])
+		}
+	}
+}
+
+func TestCSRDegreeSum(t *testing.T) {
+	g := BuildCSR(Kronecker(8, 8, 3))
+	var sum int64
+	for v := int32(0); v < g.N; v++ {
+		sum += g.Degree(v)
+	}
+	if sum != int64(len(g.Col)) || sum != int64(2*8<<8) {
+		t.Fatalf("degree sum %d, col %d", sum, len(g.Col))
+	}
+}
+
+func TestPartitionCoversAndOwnerAgrees(t *testing.T) {
+	f := func(nRaw uint16, npRaw uint8) bool {
+		n := int32(nRaw%5000) + 1
+		np := int(npRaw%8) + 1
+		parts := Partition1D(n, np)
+		if parts[0].Lo != 0 || parts[np-1].Hi != n {
+			return false
+		}
+		for r := 1; r < np; r++ {
+			if parts[r].Lo != parts[r-1].Hi {
+				return false
+			}
+		}
+		// Owner agrees with the partition table for sampled vertices.
+		for v := int32(0); v < n; v += 97 {
+			o := Owner(n, np, v)
+			if v < parts[o].Lo || v >= parts[o].Hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateBFSTreeCatchesCorruption(t *testing.T) {
+	g := BuildCSR(Kronecker(8, 8, 5))
+	root := g.MaxDegreeVertex()
+	parent := bfsRef(g, root)
+	var reached int64
+	for _, p := range parent {
+		if p >= 0 {
+			reached++
+		}
+	}
+	if err := ValidateBFSTree(g, root, parent, reached); err != nil {
+		t.Fatalf("valid tree rejected: %v", err)
+	}
+	// Corrupt: point a vertex at a non-neighbor.
+	bad := append([]int32(nil), parent...)
+	for v := int32(0); v < g.N; v++ {
+		if bad[v] >= 0 && v != root {
+			// Find a non-neighbor.
+			for w := int32(0); w < g.N; w++ {
+				if w != v && !contains(g.Neighbors(bad[v]), w) && bad[w] >= 0 {
+					// reparent v to something not adjacent
+				}
+			}
+			bad[v] = v // self-parent (invalid for non-root)
+			break
+		}
+	}
+	if err := ValidateBFSTree(g, root, bad, reached); err == nil {
+		t.Fatal("corrupted tree accepted")
+	}
+}
+
+func contains(s []int32, v int32) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func bfsRef(g *CSR, root int32) []int32 {
+	parent := make([]int32, g.N)
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[root] = root
+	q := []int32{root}
+	for len(q) > 0 {
+		u := q[0]
+		q = q[1:]
+		for _, v := range g.Neighbors(u) {
+			if parent[v] < 0 {
+				parent[v] = u
+				q = append(q, v)
+			}
+		}
+	}
+	return parent
+}

@@ -1,0 +1,131 @@
+package hsg
+
+import (
+	"testing"
+
+	"apenetsim/internal/gpu"
+	"apenetsim/internal/mpigpu"
+)
+
+// Table II shape: Ttot ~921/416/202 ps per spin for NP=1/2/4, comm
+// constant across NP, scaling stalling when bulk meets comm at NP=8.
+func TestTable2Shape(t *testing.T) {
+	want := map[int][2]float64{ // NP -> {lo, hi} for Ttot ps/spin
+		1: {870, 970},
+		2: {380, 450},
+		4: {180, 225},
+		8: {85, 160},
+	}
+	var prevNet float64
+	for _, np := range []int{1, 2, 4, 8} {
+		r, err := Run(Config{L: 256, NP: np, Sweeps: 4, Mode: mpigpu.P2POn})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := want[np]
+		if r.Ttot < b[0] || r.Ttot > b[1] {
+			t.Errorf("NP=%d Ttot = %.0f, want in [%.0f, %.0f]", np, r.Ttot, b[0], b[1])
+		}
+		if np > 1 {
+			if r.Tnet < 60 || r.Tnet > 130 {
+				t.Errorf("NP=%d Tnet = %.0f ps/spin, expected ~90-100", np, r.Tnet)
+			}
+			if prevNet != 0 && (r.Tnet > prevNet*1.5 || r.Tnet < prevNet/1.5) {
+				t.Errorf("comm should stay roughly constant across NP: %f vs %f", r.Tnet, prevNet)
+			}
+			prevNet = r.Tnet
+		}
+	}
+}
+
+// Table III shape: staging both ways is clearly worst; P2P on either
+// path recovers most of the difference.
+func TestTable3Shape(t *testing.T) {
+	res := map[mpigpu.P2PMode]Result{}
+	for _, mode := range []mpigpu.P2PMode{mpigpu.P2POn, mpigpu.P2PRX, mpigpu.P2POff} {
+		r, err := Run(Config{L: 256, NP: 2, Sweeps: 4, Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res[mode] = r
+	}
+	if res[mpigpu.P2POff].Tnet <= res[mpigpu.P2POn].Tnet {
+		t.Errorf("P2P=OFF Tnet (%.0f) should exceed P2P=ON (%.0f)",
+			res[mpigpu.P2POff].Tnet, res[mpigpu.P2POn].Tnet)
+	}
+	adv := 1 - res[mpigpu.P2POn].Tnet/res[mpigpu.P2POff].Tnet
+	if adv < 0.05 || adv > 0.40 {
+		t.Errorf("P2P advantage over staging = %.0f%%, paper reports 10-20%%", adv*100)
+	}
+	// Ttot is bulk-dominated at NP=2 regardless of mode.
+	for m, r := range res {
+		if r.Ttot < 380 || r.Ttot > 460 {
+			t.Errorf("%v Ttot = %.0f, expected ~416", m, r.Ttot)
+		}
+	}
+}
+
+// Fig 11 shape: L=512 super-linear (inefficient single-GPU baseline);
+// L=128 stops scaling early.
+func TestFig11Shape(t *testing.T) {
+	speedup := func(L, np int) float64 {
+		base, err := Run(Config{L: L, NP: 1, Sweeps: 2, Mode: mpigpu.P2POn})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := Run(Config{L: L, NP: np, Sweeps: 2, Mode: mpigpu.P2POn})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return base.Ttot / r.Ttot
+	}
+	if s := speedup(512, 4); s < 4.5 {
+		t.Errorf("L=512 NP=4 speedup = %.2f, expected super-linear (>4.5)", s)
+	}
+	if s := speedup(256, 2); s < 2.0 {
+		t.Errorf("L=256 NP=2 speedup = %.2f, expected slightly super-linear", s)
+	}
+	if s := speedup(128, 8); s > 5 {
+		t.Errorf("L=128 NP=8 speedup = %.2f, paper says L=128 stops scaling early", s)
+	}
+}
+
+// The L=512 lattice must not fit on a 3 GB Fermi 2050 — only node 0's
+// 6 GB 2070 can hold it, as in the paper.
+func TestL512MemoryConstraint(t *testing.T) {
+	m := DefaultTiming()
+	if _, err := m.spinCost(512*512*512, gpu.Fermi2050()); err == nil {
+		t.Fatal("L=512 should not fit on a 3 GB GPU")
+	}
+	if _, err := m.spinCost(512*512*512, gpu.Fermi2070()); err != nil {
+		t.Fatalf("L=512 should fit on a 6 GB GPU: %v", err)
+	}
+	// And NP=1 at L=512 must run (node 0 has the 2070).
+	if _, err := Run(Config{L: 512, NP: 1, Sweeps: 1, Mode: mpigpu.P2POn}); err != nil {
+		t.Fatalf("L=512 NP=1: %v", err)
+	}
+}
+
+// Occupancy model sanity: reference point is exactly 1.0, and the factor
+// stays within the calibrated range.
+func TestOccupancyFactorShape(t *testing.T) {
+	if f := occupancyFactor(1 << 24); f != 1.0 {
+		t.Fatalf("reference working set factor = %f", f)
+	}
+	if f := occupancyFactor(1 << 23); f >= 1.0 || f < 0.85 {
+		t.Fatalf("cache sweet spot factor = %f", f)
+	}
+	if f := occupancyFactor(1 << 27); f < 1.5 {
+		t.Fatalf("large working set factor = %f, want ~1.6", f)
+	}
+	if f := occupancyFactor(1 << 10); f < 1.5 {
+		t.Fatalf("tiny working set should be inefficient, got %f", f)
+	}
+	// Monotone pieces: interpolation stays within table bounds.
+	for s := 1 << 18; s <= 1<<27; s *= 2 {
+		f := occupancyFactor(s)
+		if f < 0.8 || f > 2.1 {
+			t.Fatalf("factor(%d) = %f out of range", s, f)
+		}
+	}
+}

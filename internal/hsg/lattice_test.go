@@ -1,0 +1,139 @@
+package hsg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpinInitUnitNorm(t *testing.T) {
+	f := func(x, y, z uint8) bool {
+		s := spinAt(12345, int(x), int(y), int(z))
+		return math.Abs(1-s.norm()) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCouplingIsQuenchedPlusMinusOne(t *testing.T) {
+	seen := map[float64]int{}
+	for x := 0; x < 8; x++ {
+		for y := 0; y < 8; y++ {
+			for z := 0; z < 8; z++ {
+				for d := 0; d < 3; d++ {
+					j := coupling(7, x, y, z, d, 8)
+					if j != 1 && j != -1 {
+						t.Fatalf("J = %f", j)
+					}
+					if j2 := coupling(7, x, y, z, d, 8); j2 != j {
+						t.Fatal("coupling not quenched")
+					}
+					seen[j]++
+				}
+			}
+		}
+	}
+	// Disorder: both signs appear with roughly equal frequency.
+	total := seen[1] + seen[-1]
+	if frac := float64(seen[1]) / float64(total); frac < 0.45 || frac > 0.55 {
+		t.Fatalf("J=+1 fraction = %f, want ~0.5", frac)
+	}
+}
+
+// Over-relaxation is microcanonical: energy is exactly conserved (up to
+// FP roundoff) and spins stay unit vectors. This is the paper's actual
+// physics kernel, so these invariants validate our implementation.
+func TestOverRelaxationConservesEnergy(t *testing.T) {
+	lat := NewLattice(16, 0, 16, 99)
+	e0 := lat.Energy()
+	for s := 0; s < 10; s++ {
+		lat.Sweep()
+	}
+	e1 := lat.Energy()
+	if rel := math.Abs(e1-e0) / math.Abs(e0); rel > 1e-10 {
+		t.Fatalf("energy drifted: %g -> %g (rel %g)", e0, e1, rel)
+	}
+	if d := lat.MaxNormDrift(); d > 1e-10 {
+		t.Fatalf("spin norms drifted by %g", d)
+	}
+}
+
+func TestSweepChangesState(t *testing.T) {
+	lat := NewLattice(8, 0, 8, 5)
+	before := lat.Clone()
+	lat.Sweep()
+	same := true
+	for i := range lat.spins {
+		if lat.spins[i] != before.spins[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("sweep left the lattice unchanged")
+	}
+}
+
+// The 1D decomposition with halo exchange must reproduce the single-domain
+// evolution exactly — this validates the communication pattern the
+// distributed runs time.
+func TestDecompositionMatchesSingleDomain(t *testing.T) {
+	const L, sweeps = 12, 4
+	const seed = 4242
+	for _, np := range []int{2, 3, 4, 6} {
+		full := NewLattice(L, 0, L, seed)
+		for s := 0; s < sweeps; s++ {
+			full.Sweep()
+		}
+		slabs := RunDecomposed(L, np, sweeps, seed)
+		for r, slab := range slabs {
+			if !slab.SpinsEqual(full, 1e-11) {
+				t.Fatalf("np=%d rank %d diverged from single-domain run", np, r)
+			}
+		}
+	}
+}
+
+func TestDecomposedEnergyConserved(t *testing.T) {
+	const L = 12
+	slabs0 := RunDecomposed(L, 4, 0, 1)
+	slabsN := RunDecomposed(L, 4, 6, 1)
+	sum := func(slabs []*Lattice) float64 {
+		var e float64
+		for _, s := range slabs {
+			e += s.Energy()
+		}
+		return e
+	}
+	e0, eN := sum(slabs0), sum(slabsN)
+	if rel := math.Abs(eN-e0) / math.Abs(e0); rel > 1e-10 {
+		t.Fatalf("decomposed energy drifted: %g -> %g", e0, eN)
+	}
+}
+
+func TestBoundaryPlaneHaloRoundTrip(t *testing.T) {
+	lat := NewLattice(8, 0, 4, 3)
+	plane := lat.BoundaryPlane(true)
+	lat.SetHalo(false, plane)
+	got := lat.spins[lat.idx(0, 0, 0):lat.idx(0, 0, 1)]
+	for i := range plane {
+		if got[i] != plane[i] {
+			t.Fatal("halo install mismatch")
+		}
+	}
+}
+
+func TestEnergyExtensive(t *testing.T) {
+	// Energy of the full lattice equals the sum over slab energies.
+	const L = 8
+	full := NewLattice(L, 0, L, 77)
+	slabs := RunDecomposed(L, 4, 0, 77)
+	var sum float64
+	for _, s := range slabs {
+		sum += s.Energy()
+	}
+	if rel := math.Abs(sum-full.Energy()) / math.Abs(full.Energy()); rel > 1e-12 {
+		t.Fatalf("slab energies sum %g != full %g", sum, full.Energy())
+	}
+}

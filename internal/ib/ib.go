@@ -1,0 +1,229 @@
+// Package ib models the paper's baseline interconnect: Mellanox
+// ConnectX-2 HCAs on a QDR InfiniBand crossbar switch (MTS3600 / IS5030).
+// Unlike APEnet+, the HCA processes receive traffic entirely in hardware
+// (no firmware bottleneck) and the switch is a single-hop full crossbar —
+// which is exactly why IB wins the large-message and the 8-node all-to-all
+// comparisons while losing the small-message GPU latency race.
+package ib
+
+import (
+	"fmt"
+
+	"apenetsim/internal/pcie"
+	"apenetsim/internal/sim"
+	"apenetsim/internal/units"
+)
+
+// Config describes an HCA + switch configuration.
+type Config struct {
+	// SlotLanes is the PCIe slot width (Cluster I: 4, Cluster II: 8).
+	SlotLanes int
+	// WireBandwidth is the effective IB wire rate after encoding and
+	// packet overheads (QDR 4x: 32 Gbps raw, ~3.2 GB/s effective).
+	WireBandwidth units.Bandwidth
+	// MTU is the wire packet size.
+	MTU units.ByteSize
+
+	SendOverhead  sim.Duration // CPU post_send cost
+	HCAProcessing sim.Duration // per-message HCA latency, each side
+	SwitchLatency sim.Duration
+	RecvDelivery  sim.Duration // completion write + polling detection
+	InlineMax     units.ByteSize
+
+	HostReadOutstanding int
+	HostReadChunk       units.ByteSize
+}
+
+// DefaultConfig returns a ConnectX-2 QDR configuration for the given PCIe
+// slot width.
+func DefaultConfig(slotLanes int) Config {
+	return Config{
+		SlotLanes:     slotLanes,
+		WireBandwidth: 3200 * units.MBps,
+		MTU:           2 * units.KB,
+
+		SendOverhead:  sim.FromNanos(200),
+		HCAProcessing: sim.FromNanos(300),
+		SwitchLatency: sim.FromNanos(200),
+		RecvDelivery:  sim.FromNanos(200),
+		InlineMax:     256,
+
+		HostReadOutstanding: 16,
+		HostReadChunk:       512,
+	}
+}
+
+// Completion is delivered to the receiver when a message has fully landed
+// in host memory.
+type Completion struct {
+	SrcRank int
+	Bytes   units.ByteSize
+	At      sim.Time
+	Payload any
+}
+
+// Switch is a non-blocking crossbar: one ingress and one egress channel
+// per port at wire rate.
+type Switch struct {
+	Eng  *sim.Engine
+	cfg  Config
+	hcas map[int]*HCA
+	out  map[int]*pcie.Channel // egress toward each port's HCA
+}
+
+// NewSwitch returns an empty switch.
+func NewSwitch(eng *sim.Engine, cfg Config) *Switch {
+	return &Switch{Eng: eng, cfg: cfg, hcas: map[int]*HCA{}, out: map[int]*pcie.Channel{}}
+}
+
+// HCA is one ConnectX-2 adapter.
+type HCA struct {
+	Eng  *sim.Engine
+	Cfg  Config
+	Rank int
+	Name string
+
+	Fab     *pcie.Fabric
+	PCI     *pcie.Device
+	HostMem *pcie.Device
+
+	sw     *Switch
+	wireTX *pcie.Channel // HCA -> switch ingress
+	reader *pcie.Reader
+
+	txq    *sim.Queue[*message]
+	RecvCQ *sim.Queue[Completion]
+
+	stats Stats
+}
+
+// Stats counts HCA activity.
+type Stats struct {
+	SendsPosted int64
+	BytesSent   int64
+	BytesRecv   int64
+}
+
+type message struct {
+	dst     int
+	n       units.ByteSize
+	payload any
+	done    func()
+}
+
+// NewHCA attaches an adapter to a node fabric and a switch port.
+func NewHCA(eng *sim.Engine, cfg Config, name string, rank int,
+	fab *pcie.Fabric, parent *pcie.Device, hostMem *pcie.Device, sw *Switch, hopLat sim.Duration) *HCA {
+
+	pci := fab.Attach(name, parent, pcie.LinkSpec{Gen: 2, Lanes: cfg.SlotLanes}, hopLat)
+	h := &HCA{
+		Eng:     eng,
+		Cfg:     cfg,
+		Rank:    rank,
+		Name:    name,
+		Fab:     fab,
+		PCI:     pci,
+		HostMem: hostMem,
+		sw:      sw,
+		wireTX:  pcie.NewChannel(eng, name+".wire.tx", cfg.WireBandwidth),
+		reader:  fab.NewReader(pci, hostMem, cfg.HostReadOutstanding, cfg.HostReadChunk),
+		txq:     sim.NewQueue[*message](eng, name+".txq", 64),
+		RecvCQ:  sim.NewQueue[Completion](eng, name+".recvcq", 0),
+	}
+	if _, dup := sw.hcas[rank]; dup {
+		panic(fmt.Sprintf("ib: duplicate rank %d", rank))
+	}
+	sw.hcas[rank] = h
+	sw.out[rank] = pcie.NewChannel(eng, fmt.Sprintf("%s.wire.rx", name), cfg.WireBandwidth)
+	return h
+}
+
+// Start spawns the HCA send engine.
+func (h *HCA) Start() {
+	h.Eng.Go(h.Name+".send", h.runSend)
+}
+
+// Stats returns activity counters.
+func (h *HCA) Statistics() Stats { return h.stats }
+
+// PostSend queues a message to dst. The caller pays the post overhead;
+// onDone (optional) fires at local send completion.
+func (h *HCA) PostSend(p *sim.Proc, dst int, n units.ByteSize, payload any, onDone func()) {
+	if n <= 0 {
+		panic("ib: empty send")
+	}
+	p.Sleep(h.Cfg.SendOverhead)
+	h.stats.SendsPosted++
+	h.txq.Put(p, &message{dst: dst, n: n, payload: payload, done: onDone})
+}
+
+// runSend drains the send queue: fetch payload from host memory (DMA
+// closed loop, pipelined across MTU packets), stream packets onto the
+// wire, cut through the crossbar, and deliver into the destination's host
+// memory.
+func (h *HCA) runSend(p *sim.Proc) {
+	for {
+		m := h.txq.Get(p)
+		dest := h.sw.hcas[m.dst]
+		if dest == nil {
+			panic(fmt.Sprintf("ib: send to unknown rank %d", m.dst))
+		}
+		// HCA send-side processing.
+		p.Sleep(h.Cfg.HCAProcessing)
+
+		// wire books one packet from the moment its payload is available.
+		wire := func(from sim.Time, sz units.ByteSize) sim.Time {
+			_, end := h.wireTX.ReserveRaw(from, sz+64) // IB headers
+			_, eEnd := h.sw.out[m.dst].ReserveRaw(end.Add(h.Cfg.SwitchLatency), sz+64)
+			_, hostArr := dest.Fab.Path(dest.PCI, dest.HostMem).Send(eEnd.Add(h.Cfg.HCAProcessing), sz)
+			return hostArr
+		}
+
+		remaining := m.n
+		var lastArrival sim.Time
+		outstanding := 0
+		drained := sim.NewSignal(h.Eng)
+		for remaining > 0 {
+			sz := h.Cfg.MTU
+			if sz > remaining {
+				sz = remaining
+			}
+			remaining -= sz
+			if sz <= h.Cfg.InlineMax {
+				// Inlined into the work request: no payload DMA read.
+				if arr := wire(p.Now(), sz); arr > lastArrival {
+					lastArrival = arr
+				}
+				continue
+			}
+			pktSz := sz
+			outstanding++
+			h.reader.ReadAsync(p, pktSz, func(ready sim.Time) {
+				if arr := wire(ready, pktSz); arr > lastArrival {
+					lastArrival = arr
+				}
+				outstanding--
+				if outstanding == 0 {
+					drained.Broadcast()
+				}
+			})
+		}
+		for outstanding > 0 {
+			drained.Wait(p, "ib.send.drain")
+		}
+		h.stats.BytesSent += int64(m.n)
+		msg := m
+		h.Eng.At(lastArrival.Add(h.Cfg.RecvDelivery), func() {
+			dest.stats.BytesRecv += int64(msg.n)
+			dest.RecvCQ.TryPut(Completion{
+				SrcRank: h.Rank,
+				Bytes:   msg.n,
+				At:      h.Eng.Now(),
+				Payload: msg.payload,
+			})
+			if msg.done != nil {
+				msg.done()
+			}
+		})
+	}
+}

@@ -1,0 +1,156 @@
+package ib
+
+import (
+	"math"
+	"testing"
+
+	"apenetsim/internal/pcie"
+	"apenetsim/internal/sim"
+	"apenetsim/internal/units"
+)
+
+func pair(t *testing.T, lanes int) (*sim.Engine, *HCA, *HCA) {
+	t.Helper()
+	eng := sim.New()
+	cfg := DefaultConfig(lanes)
+	sw := NewSwitch(eng, cfg)
+	mk := func(i int) *HCA {
+		fab := pcie.NewFabric(eng, nil, "n", "rc")
+		fab.Root().CompletionLatency = 700 * sim.Nanosecond
+		h := NewHCA(eng, cfg, "hca", i, fab, fab.Root(), fab.Root(), sw, 150*sim.Nanosecond)
+		h.Start()
+		return h
+	}
+	return eng, mk(0), mk(1)
+}
+
+func TestHostLatencySmallMessage(t *testing.T) {
+	eng, a, b := pair(t, 8)
+	defer eng.Shutdown()
+	var lat sim.Duration
+	eng.Go("ping", func(p *sim.Proc) {
+		const iters = 50
+		start := p.Now()
+		for i := 0; i < iters; i++ {
+			a.PostSend(p, 1, 32, nil, nil)
+			b.RecvCQ.Get(p)
+			b.PostSend(p, 0, 32, nil, nil)
+			a.RecvCQ.Get(p)
+		}
+		lat = p.Now().Sub(start) / sim.Duration(2*iters)
+	})
+	eng.Run()
+	// ConnectX-2 class host-to-host MPI latency: ~1.2-2 us.
+	if lat < sim.Microsecond || lat > 3*sim.Microsecond {
+		t.Fatalf("H-H IB latency = %v, want ~1.5us", lat)
+	}
+}
+
+func TestHostBandwidthTracksSlotWidth(t *testing.T) {
+	measure := func(lanes int) units.Bandwidth {
+		eng, a, b := pair(t, lanes)
+		defer eng.Shutdown()
+		var bw units.Bandwidth
+		const n = 64
+		const msg = 512 * units.KB
+		eng.Go("send", func(p *sim.Proc) {
+			for i := 0; i < n; i++ {
+				a.PostSend(p, 1, msg, nil, nil)
+			}
+		})
+		eng.Go("recv", func(p *sim.Proc) {
+			start := p.Now()
+			for i := 0; i < n; i++ {
+				b.RecvCQ.Get(p)
+			}
+			bw = units.Rate(n*msg, p.Now().Sub(start))
+		})
+		eng.Run()
+		return bw
+	}
+	x8 := measure(8)
+	x4 := measure(4)
+	// Cluster II (x8) reaches ~3 GB/s; Cluster I's x4 slot caps well below.
+	if x8 < 2700*units.MBps || x8 > 3300*units.MBps {
+		t.Fatalf("x8 bandwidth = %v, want ~3 GB/s", x8)
+	}
+	if x4 > 2000*units.MBps {
+		t.Fatalf("x4 slot should cap bandwidth, got %v", x4)
+	}
+	if ratio := float64(x8) / float64(x4); ratio < 1.5 {
+		t.Fatalf("x8/x4 = %.2f, want a clear slot-width effect", ratio)
+	}
+}
+
+func TestCompletionOrderingAndPayloads(t *testing.T) {
+	eng, a, b := pair(t, 8)
+	defer eng.Shutdown()
+	var got []int
+	eng.Go("send", func(p *sim.Proc) {
+		for i := 0; i < 20; i++ {
+			a.PostSend(p, 1, units.ByteSize(64<<(i%6)), i, nil)
+		}
+	})
+	eng.Go("recv", func(p *sim.Proc) {
+		for i := 0; i < 20; i++ {
+			c := b.RecvCQ.Get(p)
+			got = append(got, c.Payload.(int))
+			if c.SrcRank != 0 {
+				t.Errorf("src = %d", c.SrcRank)
+			}
+		}
+	})
+	eng.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order at %d: %v", i, got[:i+1])
+		}
+	}
+	if a.Statistics().BytesSent != b.Statistics().BytesRecv {
+		t.Fatalf("byte accounting mismatch: %+v vs %+v", a.Statistics(), b.Statistics())
+	}
+}
+
+func TestSendDoneCallback(t *testing.T) {
+	eng, a, b := pair(t, 8)
+	defer eng.Shutdown()
+	fired := false
+	eng.Go("send", func(p *sim.Proc) {
+		a.PostSend(p, 1, 4*units.KB, nil, func() { fired = true })
+	})
+	eng.Go("recv", func(p *sim.Proc) {
+		b.RecvCQ.Get(p)
+		if !fired {
+			t.Error("done callback not fired by delivery time")
+		}
+	})
+	eng.Run()
+	if !fired {
+		t.Fatal("done callback never fired")
+	}
+}
+
+func TestInlineSendSkipsDMARead(t *testing.T) {
+	// Inline (<=256 B) messages avoid the host-memory fetch: latency for
+	// 64 B must be visibly below 4 KB (which pays the DMA read RTT).
+	eng, a, b := pair(t, 8)
+	defer eng.Shutdown()
+	var small, large sim.Duration
+	eng.Go("t", func(p *sim.Proc) {
+		t0 := p.Now()
+		a.PostSend(p, 1, 64, nil, nil)
+		b.RecvCQ.Get(p)
+		small = p.Now().Sub(t0)
+		t1 := p.Now()
+		a.PostSend(p, 1, 4*units.KB, nil, nil)
+		b.RecvCQ.Get(p)
+		large = p.Now().Sub(t1)
+	})
+	eng.Run()
+	if small >= large {
+		t.Fatalf("inline send (%v) should beat DMA-read send (%v)", small, large)
+	}
+	if math.Abs(float64(large-small)) < float64(500*sim.Nanosecond) {
+		t.Fatalf("DMA read RTT should cost ~1us+: small=%v large=%v", small, large)
+	}
+}

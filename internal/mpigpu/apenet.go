@@ -1,0 +1,237 @@
+package mpigpu
+
+import (
+	"fmt"
+
+	"apenetsim/internal/cluster"
+	"apenetsim/internal/cuda"
+	"apenetsim/internal/rdma"
+	"apenetsim/internal/sim"
+	"apenetsim/internal/units"
+)
+
+// APEnetComm is the APEnet+ transport: messages become RDMA PUTs into
+// per-peer mailbox buffers. GPU sources/destinations honor the configured
+// P2PMode; staging uses synchronous cudaMemcpy exactly as the paper's
+// P2P=OFF runs did.
+type APEnetComm struct {
+	mode P2PMode
+	ep   *rdma.Endpoint
+	ctx  *cuda.Context
+	rank int
+	size int
+
+	hostBox *rdma.Buffer
+	gpuBox  *rdma.Buffer
+	srcHost *rdma.Buffer
+	srcGPU  *rdma.Buffer
+
+	peers   []*APEnetComm
+	in      *inbox
+	order   *orderedDelivery
+	sendSeq []uint64
+	sendq   *sim.Queue[*apeSend]
+	reqs    map[uint64]*Req
+}
+
+type apeSend struct {
+	dst     int
+	n       units.ByteSize
+	gpuSrc  bool
+	payload any
+	req     *Req
+}
+
+// boxBytes is the mailbox size; messages larger than this are chunked.
+const boxBytes = 32 * units.MB
+
+// NewAPEnetWorld builds one communicator per cluster node (each node's
+// GPU 0), wires mailboxes, and starts the progress engines. mode selects
+// the paper's P2P configuration.
+func NewAPEnetWorld(p *sim.Proc, cl *cluster.Cluster, n int, mode P2PMode) ([]*APEnetComm, error) {
+	if n > len(cl.Nodes) {
+		return nil, fmt.Errorf("mpigpu: %d ranks on %d nodes", n, len(cl.Nodes))
+	}
+	comms := make([]*APEnetComm, n)
+	for i := 0; i < n; i++ {
+		node := cl.Nodes[i]
+		if node.Card == nil {
+			return nil, fmt.Errorf("mpigpu: node %d has no APEnet+ card", i)
+		}
+		c := &APEnetComm{
+			mode:  mode,
+			ep:    rdma.NewEndpoint(node.Card),
+			ctx:   cuda.NewContext(cl.Eng, node.Fab, node.GPU(0), node.HostMem),
+			rank:  i,
+			size:  n,
+			peers: comms,
+			in:      newInbox(cl.Eng, fmt.Sprintf("ape%d.inbox", i), n),
+			sendSeq: make([]uint64, n),
+			sendq:   sim.NewQueue[*apeSend](cl.Eng, fmt.Sprintf("ape%d.sendq", i), 0),
+			reqs:    map[uint64]*Req{},
+		}
+		c.order = newOrderedDelivery(c.in, n)
+		var err error
+		if c.hostBox, err = c.ep.NewHostBuffer(p, boxBytes); err != nil {
+			return nil, err
+		}
+		if c.gpuBox, err = c.ep.NewGPUBuffer(p, node.GPU(0), boxBytes); err != nil {
+			return nil, err
+		}
+		if c.srcHost, err = c.ep.NewHostBuffer(p, boxBytes); err != nil {
+			return nil, err
+		}
+		if c.srcGPU, err = c.ep.NewGPUBuffer(p, node.GPU(0), boxBytes); err != nil {
+			return nil, err
+		}
+		comms[i] = c
+	}
+	for _, c := range comms {
+		c := c
+		cl.Eng.Go(fmt.Sprintf("ape%d.sender", c.rank), c.runSender)
+		cl.Eng.Go(fmt.Sprintf("ape%d.demux", c.rank), c.runDemux)
+		cl.Eng.Go(fmt.Sprintf("ape%d.sendcq", c.rank), c.runSendCQ)
+	}
+	return comms, nil
+}
+
+// Rank returns this communicator's rank.
+func (c *APEnetComm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *APEnetComm) Size() int { return c.size }
+
+// Isend queues a message for transmission. In the staged TX modes
+// (P2P=RX, P2P=OFF) the device-to-host copy runs synchronously in the
+// caller — exactly like the real staged code, where the cudaMemcpy sits
+// in the application's communication phase and cannot overlap it (the
+// implicit-synchronization problem the paper describes in §II).
+func (c *APEnetComm) Isend(p *sim.Proc, dst int, n units.ByteSize, gpuSrc bool, payload any) *Req {
+	if dst < 0 || dst >= c.size {
+		panic(fmt.Sprintf("mpigpu: bad destination %d", dst))
+	}
+	if gpuSrc && c.mode != P2POn {
+		for off := units.ByteSize(0); off < n; off += boxBytes {
+			sz := boxBytes
+			if sz > n-off {
+				sz = n - off
+			}
+			c.ctx.MemcpyD2H(p, sz)
+		}
+	}
+	req := newReq(c.ep.Card.Eng)
+	c.sendq.Put(p, &apeSend{dst: dst, n: n, gpuSrc: gpuSrc, payload: payload, req: req})
+	return req
+}
+
+// Send is Isend + Wait.
+func (c *APEnetComm) Send(p *sim.Proc, dst int, n units.ByteSize, gpuSrc bool, payload any) {
+	c.Isend(p, dst, n, gpuSrc, payload).Wait(p)
+}
+
+// Recv blocks for the next message from src. For P2P=OFF GPU messages the
+// host-to-device staging copy is deferred to Msg.Unpack, matching the
+// waitall-then-unpack structure of real staged codes.
+func (c *APEnetComm) Recv(p *sim.Proc, src int) Msg {
+	m := c.in.queues[src].Get(p)
+	if m.GPU {
+		env := m.Payload.(envelope)
+		if env.stagedRX {
+			n := m.Bytes
+			m.unpack = func(up *sim.Proc) { c.ctx.MemcpyH2D(up, n) }
+		}
+		m.Payload = env.user
+	}
+	return m
+}
+
+// runSender is the progress engine: it serializes staging copies and PUT
+// submissions, like a single MPI progress thread.
+func (c *APEnetComm) runSender(p *sim.Proc) {
+	for {
+		s := c.sendq.Get(p)
+		peer := c.peers[s.dst]
+		seq := c.sendSeq[s.dst]
+		c.sendSeq[s.dst]++
+		remaining := s.n
+		chunkIdx := 0
+		for remaining > 0 {
+			n := remaining
+			if n > boxBytes {
+				n = boxBytes
+			}
+			remaining -= n
+			last := remaining == 0
+
+			var src *rdma.Buffer
+			dstAddr := peer.hostBox.Addr
+			gpuDst := false
+			stagedRX := false
+			if s.gpuSrc {
+				gpuDst = true
+				switch c.mode {
+				case P2POn:
+					src = c.srcGPU
+					dstAddr = peer.gpuBox.Addr
+				case P2PRX:
+					// TX staged (D2H already done in Isend); RX direct to GPU.
+					src = c.srcHost
+					dstAddr = peer.gpuBox.Addr
+				case P2POff:
+					src = c.srcHost
+					dstAddr = peer.hostBox.Addr
+					stagedRX = true
+				}
+			} else {
+				src = c.srcHost
+			}
+			env := envelope{user: s.payload, bytes: s.n, chunk: chunkIdx, last: last, gpuDst: gpuDst, stagedRX: stagedRX, seq: seq}
+			job, err := c.ep.Put(p, s.dst, dstAddr, src, 0, n, rdma.PutFlags{Payload: env})
+			if err != nil {
+				panic("mpigpu: " + err.Error())
+			}
+			if last {
+				c.reqs[job.ID] = s.req
+			}
+			chunkIdx++
+		}
+	}
+}
+
+// runSendCQ completes requests as their last PUT leaves the card.
+func (c *APEnetComm) runSendCQ(p *sim.Proc) {
+	for {
+		comp := c.ep.WaitSend(p)
+		if req, ok := c.reqs[comp.JobID]; ok {
+			delete(c.reqs, comp.JobID)
+			req.complete()
+		}
+	}
+}
+
+// runDemux assembles chunks and routes completed messages to per-source
+// inboxes.
+func (c *APEnetComm) runDemux(p *sim.Proc) {
+	for {
+		comp := c.ep.WaitRecv(p)
+		env, ok := comp.Payload.(envelope)
+		if !ok {
+			panic("mpigpu: foreign completion on comm card")
+		}
+		if !env.last {
+			continue // intermediate chunk of a >boxBytes message
+		}
+		m := Msg{
+			Src:   comp.SrcRank,
+			Bytes: env.bytes,
+			GPU:   env.gpuDst,
+			At:    comp.At,
+		}
+		if env.gpuDst {
+			m.Payload = env // Recv unwraps and defers staged H2D to Unpack
+		} else {
+			m.Payload = env.user
+		}
+		c.order.deliver(p, comp.SrcRank, env.seq, m)
+	}
+}

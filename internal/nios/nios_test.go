@@ -1,0 +1,69 @@
+package nios
+
+import (
+	"testing"
+
+	"apenetsim/internal/sim"
+)
+
+func TestExecSerializesTasks(t *testing.T) {
+	eng := sim.New()
+	cpu := New(eng, "nios", 200)
+	var rxDone, txDone sim.Time
+	eng.Go("rx", func(p *sim.Proc) {
+		cpu.Exec(p, "RX", 3*sim.Microsecond)
+		rxDone = p.Now()
+	})
+	eng.Go("tx", func(p *sim.Proc) {
+		cpu.Exec(p, "GPU_P2P_TX", 2*sim.Microsecond)
+		txDone = p.Now()
+	})
+	eng.Run()
+	// Both started at t=0 but must serialize: 3us then 2us.
+	if rxDone != sim.Time(3*sim.Microsecond) {
+		t.Fatalf("rx done at %v", rxDone)
+	}
+	if txDone != sim.Time(5*sim.Microsecond) {
+		t.Fatalf("tx done at %v (no serialization?)", txDone)
+	}
+}
+
+func TestClockScaling(t *testing.T) {
+	eng := sim.New()
+	fast := New(eng, "nios400", 400)
+	if got := fast.Scale(3 * sim.Microsecond); got != 1500*sim.Nanosecond {
+		t.Fatalf("400 MHz scale = %v, want 1.5us", got)
+	}
+	slow := New(eng, "nios100", 100)
+	if got := slow.Scale(3 * sim.Microsecond); got != 6*sim.Microsecond {
+		t.Fatalf("100 MHz scale = %v, want 6us", got)
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	eng := sim.New()
+	cpu := New(eng, "nios", 200)
+	eng.Go("w", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			cpu.Exec(p, "RX", sim.Microsecond)
+		}
+		cpu.Exec(p, "TX", 2*sim.Microsecond)
+	})
+	eng.Run()
+	if cpu.BusyTime("RX") != 5*sim.Microsecond || cpu.Runs("RX") != 5 {
+		t.Fatalf("RX accounting: %v/%d", cpu.BusyTime("RX"), cpu.Runs("RX"))
+	}
+	if cpu.TotalBusy() != 7*sim.Microsecond {
+		t.Fatalf("total = %v", cpu.TotalBusy())
+	}
+	tasks := cpu.ActiveTasks()
+	if len(tasks) != 2 || tasks[0].Task != "RX" || tasks[1].Task != "TX" {
+		t.Fatalf("active tasks = %+v", tasks)
+	}
+	if u := cpu.Utilization(eng.Now()); u < 0.99 || u > 1.01 {
+		t.Fatalf("utilization = %f", u)
+	}
+	if cpu.Exec(nil, "zero", 0); cpu.BusyTime("zero") != 0 {
+		t.Fatal("zero-cost exec should be free")
+	}
+}

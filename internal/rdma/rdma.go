@@ -1,0 +1,156 @@
+// Package rdma implements the APEnet+ RDMA programming model as the paper
+// extends it for GPUs (§IV.A): buffers — host or GPU, identified by their
+// 64-bit UVA virtual address — are pinned and registered with the card,
+// after which they can be the target of PUT operations from any node.
+// The source buffer type is chosen by a flag on the PUT call (avoiding a
+// cuPointerGetAttribute lookup, which early CUDA releases made expensive).
+package rdma
+
+import (
+	"fmt"
+
+	"apenetsim/internal/core"
+	"apenetsim/internal/gpu"
+	"apenetsim/internal/sim"
+	"apenetsim/internal/units"
+)
+
+// UVA address-space layout: host and per-GPU buffers get disjoint ranges,
+// mirroring CUDA's Unified Virtual Addressing, so a 64-bit address alone
+// identifies the memory space (what cuPointerGetAttribute exploits).
+const (
+	hostBase uint64 = 0x0000_1000_0000_0000
+	gpuBase  uint64 = 0x7000_0000_0000_0000
+	gpuSlot  uint64 = 1 << 40
+)
+
+// Buffer is a registered communication buffer.
+type Buffer struct {
+	Addr uint64
+	Size units.ByteSize
+	Kind core.MemKind
+	GPU  *gpu.Device // for GPU buffers
+
+	ep    *Endpoint
+	entry *core.BufEntry
+}
+
+// Endpoint is a process's handle to its node's APEnet+ card.
+type Endpoint struct {
+	Card *core.Card
+
+	nextHostAddr uint64
+	gpuIndex     map[*gpu.Device]uint64
+	gpuNext      map[*gpu.Device]uint64
+}
+
+// NewEndpoint wraps a card.
+func NewEndpoint(card *core.Card) *Endpoint {
+	return &Endpoint{
+		Card:         card,
+		nextHostAddr: hostBase,
+		gpuIndex:     map[*gpu.Device]uint64{},
+		gpuNext:      map[*gpu.Device]uint64{},
+	}
+}
+
+// Rank returns the endpoint's torus rank.
+func (ep *Endpoint) Rank() int { return ep.Card.Rank }
+
+// NewHostBuffer allocates, pins and registers a host buffer.
+func (ep *Endpoint) NewHostBuffer(p *sim.Proc, size units.ByteSize) (*Buffer, error) {
+	addr := ep.nextHostAddr
+	ep.nextHostAddr += uint64(size) + 4096 // guard page
+	b := &Buffer{Addr: addr, Size: size, Kind: core.HostMem, ep: ep}
+	return b, ep.register(p, b)
+}
+
+// NewGPUBuffer allocates device memory on g, maps it for peer-to-peer
+// (retrieving the P2P tokens and pushing the GPU_V2P page descriptors to
+// the firmware) and registers it.
+func (ep *Endpoint) NewGPUBuffer(p *sim.Proc, g *gpu.Device, size units.ByteSize) (*Buffer, error) {
+	off, err := g.Mem.Alloc(size)
+	if err != nil {
+		return nil, err
+	}
+	base, ok := ep.gpuIndex[g]
+	if !ok {
+		base = gpuBase + uint64(len(ep.gpuIndex))*gpuSlot
+		ep.gpuIndex[g] = base
+	}
+	b := &Buffer{Addr: base + uint64(off), Size: size, Kind: core.GPUMem, GPU: g, ep: ep}
+	return b, ep.register(p, b)
+}
+
+func (ep *Endpoint) register(p *sim.Proc, b *Buffer) error {
+	b.entry = &core.BufEntry{Addr: b.Addr, Size: b.Size, Kind: b.Kind, GPU: b.GPU}
+	return ep.Card.RegisterBuffer(p, b.entry)
+}
+
+// Deregister removes the buffer from the card's BUF_LIST.
+func (b *Buffer) Deregister() {
+	if b.entry != nil {
+		b.ep.Card.BufList.Unregister(b.entry)
+		b.entry = nil
+	}
+}
+
+// PutFlags control a PUT operation.
+type PutFlags struct {
+	// Payload is application data delivered with the remote completion.
+	Payload any
+}
+
+// Put issues an RDMA PUT of n bytes from the local buffer src (at srcOff)
+// into the remote address dstAddr+dstOff on dstRank. It blocks only for
+// job submission (TX queue space), not for completion; completions arrive
+// on the card's SendCQ/RecvCQ.
+func (ep *Endpoint) Put(p *sim.Proc, dstRank int, dstAddr uint64, src *Buffer, srcOff int64, n units.ByteSize, flags PutFlags) (*core.TXJob, error) {
+	if src == nil || src.entry == nil {
+		return nil, fmt.Errorf("rdma: source buffer not registered")
+	}
+	if srcOff < 0 || units.ByteSize(srcOff)+n > src.Size {
+		return nil, fmt.Errorf("rdma: source range [%d,+%v) outside buffer of %v", srcOff, n, src.Size)
+	}
+	job := &core.TXJob{
+		SrcKind: src.Kind,
+		SrcGPU:  src.GPU,
+		DstRank: dstRank,
+		DstAddr: dstAddr,
+		Bytes:   n,
+		Payload: flags.Payload,
+	}
+	ep.Card.Submit(p, job)
+	return job, nil
+}
+
+// PutBuffer is Put targeting the base of a remote buffer's address.
+func (ep *Endpoint) PutBuffer(p *sim.Proc, dstRank int, dst *Buffer, src *Buffer, n units.ByteSize, flags PutFlags) (*core.TXJob, error) {
+	return ep.Put(p, dstRank, dst.Addr, src, 0, n, flags)
+}
+
+// WaitSend blocks until the next local send completion.
+func (ep *Endpoint) WaitSend(p *sim.Proc) core.Completion {
+	return ep.Card.SendCQ.Get(p)
+}
+
+// WaitRecv blocks until the next receive completion.
+func (ep *Endpoint) WaitRecv(p *sim.Proc) core.Completion {
+	return ep.Card.RecvCQ.Get(p)
+}
+
+// DrainSends consumes n send completions.
+func (ep *Endpoint) DrainSends(p *sim.Proc, n int) {
+	for i := 0; i < n; i++ {
+		ep.WaitSend(p)
+	}
+}
+
+// DrainRecvs consumes n receive completions, returning the last.
+func (ep *Endpoint) DrainRecvs(p *sim.Proc, n int) core.Completion {
+	var last core.Completion
+	for i := 0; i < n; i++ {
+		last = ep.WaitRecv(p)
+	}
+	return last
+}

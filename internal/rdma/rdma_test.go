@@ -1,0 +1,136 @@
+package rdma
+
+import (
+	"testing"
+
+	"apenetsim/internal/cluster"
+	"apenetsim/internal/core"
+	"apenetsim/internal/gpu"
+	"apenetsim/internal/sim"
+	"apenetsim/internal/units"
+)
+
+func rig(t *testing.T) (*sim.Engine, *cluster.Cluster, *Endpoint) {
+	t.Helper()
+	eng := sim.New()
+	cl, err := cluster.SingleNode(eng, nil, core.DefaultConfig(), gpu.Fermi2050())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, cl, NewEndpoint(cl.Nodes[0].Card)
+}
+
+func TestUVAAddressesDisjoint(t *testing.T) {
+	eng, cl, ep := rig(t)
+	defer eng.Shutdown()
+	eng.Go("t", func(p *sim.Proc) {
+		h1, err := ep.NewHostBuffer(p, 64*units.KB)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		h2, err := ep.NewHostBuffer(p, 64*units.KB)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		g1, err := ep.NewGPUBuffer(p, cl.Nodes[0].GPU(0), 64*units.KB)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Host buffers must not overlap each other or the GPU range.
+		if h1.Addr+uint64(h1.Size) > h2.Addr && h2.Addr+uint64(h2.Size) > h1.Addr {
+			t.Error("host buffers overlap")
+		}
+		if g1.Addr < 0x7000_0000_0000_0000 {
+			t.Errorf("GPU buffer outside device UVA range: %#x", g1.Addr)
+		}
+		if h1.Addr >= 0x7000_0000_0000_0000 {
+			t.Errorf("host buffer inside device UVA range: %#x", h1.Addr)
+		}
+	})
+	eng.Run()
+}
+
+func TestGPUBufferConsumesDeviceMemory(t *testing.T) {
+	eng, cl, ep := rig(t)
+	defer eng.Shutdown()
+	dev := cl.Nodes[0].GPU(0)
+	eng.Go("t", func(p *sim.Proc) {
+		before := dev.Mem.InUse()
+		b, err := ep.NewGPUBuffer(p, dev, 1*units.MB)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if dev.Mem.InUse() != before+1*units.MB {
+			t.Errorf("device memory not accounted: %v", dev.Mem.InUse())
+		}
+		b.Deregister()
+		if ep.Card.BufList.Len() != 0 {
+			t.Error("deregister left BUF_LIST entry")
+		}
+	})
+	eng.Run()
+}
+
+func TestGPUBufferExhaustion(t *testing.T) {
+	eng, cl, ep := rig(t)
+	defer eng.Shutdown()
+	dev := cl.Nodes[0].GPU(0) // 3 GB Fermi 2050
+	eng.Go("t", func(p *sim.Proc) {
+		if _, err := ep.NewGPUBuffer(p, dev, 4*units.GB); err == nil {
+			t.Error("4 GB allocation on a 3 GB GPU succeeded")
+		}
+	})
+	eng.Run()
+}
+
+func TestPutValidation(t *testing.T) {
+	eng, _, ep := rig(t)
+	defer eng.Shutdown()
+	eng.Go("t", func(p *sim.Proc) {
+		src, err := ep.NewHostBuffer(p, 4096)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		unregistered := &Buffer{Addr: 0x1234, Size: 4096}
+		if _, err := ep.Put(p, 0, src.Addr, unregistered, 0, 64, PutFlags{}); err == nil {
+			t.Error("unregistered source accepted")
+		}
+		if _, err := ep.Put(p, 0, src.Addr, src, -1, 64, PutFlags{}); err == nil {
+			t.Error("negative offset accepted")
+		}
+		if _, err := ep.Put(p, 0, src.Addr, src, 4090, 64, PutFlags{}); err == nil {
+			t.Error("overrun accepted")
+		}
+	})
+	eng.Run()
+}
+
+func TestRegistrationCostCharged(t *testing.T) {
+	eng, cl, ep := rig(t)
+	defer eng.Shutdown()
+	cfg := cl.Nodes[0].Card.Cfg
+	eng.Go("t", func(p *sim.Proc) {
+		t0 := p.Now()
+		if _, err := ep.NewHostBuffer(p, 4096); err != nil {
+			t.Error(err)
+		}
+		hostCost := p.Now().Sub(t0)
+		if hostCost != cfg.RegHostCost {
+			t.Errorf("host registration cost %v, want %v", hostCost, cfg.RegHostCost)
+		}
+		t1 := p.Now()
+		if _, err := ep.NewGPUBuffer(p, cl.Nodes[0].GPU(0), 4096); err != nil {
+			t.Error(err)
+		}
+		gpuCost := p.Now().Sub(t1)
+		if gpuCost != cfg.RegGPUCost {
+			t.Errorf("GPU registration cost %v, want %v", gpuCost, cfg.RegGPUCost)
+		}
+	})
+	eng.Run()
+}

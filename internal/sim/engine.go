@@ -1,0 +1,229 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Event is a scheduled callback. It can be canceled before it fires.
+type Event struct {
+	t        Time
+	seq      uint64
+	fn       func()
+	idx      int // heap index, -1 when not queued
+	canceled bool
+}
+
+// Time returns the time at which the event is scheduled to fire.
+func (ev *Event) Time() Time { return ev.t }
+
+// Engine is a deterministic discrete-event scheduler.
+//
+// Engines are not safe for concurrent use; a whole simulation (engine,
+// procs, model components) forms one single-threaded unit. Multiple
+// independent engines may run in parallel (e.g. parallel tests or
+// parameter sweeps).
+type Engine struct {
+	now    Time
+	heap   []*Event
+	seq    uint64
+	nsteps uint64
+	procs  map[*Proc]struct{}
+}
+
+// New returns a new Engine at time zero.
+func New() *Engine {
+	return &Engine{procs: make(map[*Proc]struct{})}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Steps returns the number of events executed so far.
+func (e *Engine) Steps() uint64 { return e.nsteps }
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// panics: that is always a model bug.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event in the past (%v < now %v)", t, e.now))
+	}
+	ev := &Event{t: t, seq: e.seq, fn: fn}
+	e.seq++
+	e.push(ev)
+	return ev
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// Cancel prevents a scheduled event from firing. Canceling an event that
+// already fired (or was already canceled) is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.canceled || ev.idx < 0 {
+		if ev != nil {
+			ev.canceled = true
+		}
+		return
+	}
+	ev.canceled = true
+	e.remove(ev)
+}
+
+// Step executes the single next event. It returns false when the event
+// queue is empty.
+func (e *Engine) Step() bool {
+	ev := e.pop()
+	if ev == nil {
+		return false
+	}
+	e.now = ev.t
+	e.nsteps++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then sets the clock to t.
+func (e *Engine) RunUntil(t Time) {
+	for {
+		ev := e.peek()
+		if ev == nil || ev.t > t {
+			break
+		}
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// RunFor advances the simulation by d.
+func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now.Add(d)) }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// Blocked returns a sorted description of every live proc that is parked,
+// with the reason it blocked. After Run() returns, entries here are either
+// server loops legitimately waiting for input, or deadlocked procs —
+// useful in tests and when debugging models.
+func (e *Engine) Blocked() []string {
+	var out []string
+	for p := range e.procs {
+		if p.blockedOn != "" {
+			out = append(out, p.name+": "+p.blockedOn)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Shutdown kills all live procs so their goroutines exit. Call it when a
+// simulation is finished if the engine hosted server-style procs that
+// never terminate on their own.
+func (e *Engine) Shutdown() {
+	for len(e.procs) > 0 {
+		var p *Proc
+		// Pick any proc; kill order does not matter for determinism
+		// because killed procs run no model code.
+		for q := range e.procs {
+			p = q
+			break
+		}
+		p.killed = true
+		e.dispatch(p)
+	}
+}
+
+// heap operations: min-heap ordered by (t, seq).
+
+func eventLess(a, b *Event) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) push(ev *Event) {
+	ev.idx = len(e.heap)
+	e.heap = append(e.heap, ev)
+	e.up(ev.idx)
+}
+
+func (e *Engine) peek() *Event {
+	if len(e.heap) == 0 {
+		return nil
+	}
+	return e.heap[0]
+}
+
+func (e *Engine) pop() *Event {
+	if len(e.heap) == 0 {
+		return nil
+	}
+	ev := e.heap[0]
+	e.remove(ev)
+	return ev
+}
+
+func (e *Engine) remove(ev *Event) {
+	i := ev.idx
+	last := len(e.heap) - 1
+	if i != last {
+		e.heap[i] = e.heap[last]
+		e.heap[i].idx = i
+	}
+	e.heap = e.heap[:last]
+	ev.idx = -1
+	if i < len(e.heap) {
+		e.down(i)
+		e.up(i)
+	}
+}
+
+func (e *Engine) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(e.heap[i], e.heap[parent]) {
+			break
+		}
+		e.swap(i, parent)
+		i = parent
+	}
+}
+
+func (e *Engine) down(i int) {
+	n := len(e.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && eventLess(e.heap[l], e.heap[small]) {
+			small = l
+		}
+		if r < n && eventLess(e.heap[r], e.heap[small]) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		e.swap(i, small)
+		i = small
+	}
+}
+
+func (e *Engine) swap(i, j int) {
+	e.heap[i], e.heap[j] = e.heap[j], e.heap[i]
+	e.heap[i].idx = i
+	e.heap[j].idx = j
+}

@@ -1,0 +1,156 @@
+package sim
+
+import "fmt"
+
+// Proc is a coroutine process driven by an Engine. A proc runs model code
+// on its own goroutine, but the engine and all procs alternate strictly:
+// at any instant exactly one of them executes, so models stay
+// deterministic and need no locking.
+//
+// A proc may block with Sleep or on sync primitives (Signal, Semaphore,
+// Queue, ByteFIFO, Resource). Blocking hands control back to the engine;
+// the proc resumes when the corresponding wake event fires.
+type Proc struct {
+	name      string
+	eng       *Engine
+	wake      chan struct{}
+	park      chan parkKind
+	blockedOn string
+	launched  bool // goroutine exists (start event has fired)
+	dead      bool
+	killed    bool
+	panicVal  any
+}
+
+type parkKind int
+
+const (
+	parkParked parkKind = iota
+	parkDied
+	parkPanicked
+)
+
+// killSentinel is panicked inside a proc to unwind it during Shutdown.
+type killSentinelType struct{}
+
+var killSentinel = killSentinelType{}
+
+// Go spawns a new proc named name running fn. The proc starts at the
+// current simulation time (as a scheduled event, after already-queued
+// events at this timestamp).
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		name: name,
+		eng:  e,
+		wake: make(chan struct{}),
+		park: make(chan parkKind),
+	}
+	p.blockedOn = "start"
+	e.procs[p] = struct{}{}
+	e.After(0, func() {
+		if p.launched || p.dead {
+			return
+		}
+		p.launched = true
+		go p.run(fn)
+		e.dispatch(p)
+	})
+	return p
+}
+
+func (p *Proc) run(fn func(p *Proc)) {
+	<-p.wake
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isKill := r.(killSentinelType); isKill {
+				p.park <- parkDied
+				return
+			}
+			p.panicVal = r
+			p.park <- parkPanicked
+			return
+		}
+		p.park <- parkDied
+	}()
+	if p.killed {
+		panic(killSentinel)
+	}
+	p.blockedOn = ""
+	fn(p)
+}
+
+// dispatch resumes a parked proc and waits for it to park again or
+// terminate. It must only be called from engine context (inside an event).
+func (e *Engine) dispatch(p *Proc) {
+	if p.dead {
+		return
+	}
+	if !p.launched {
+		// The start event has not fired: there is no goroutine to wake.
+		// Killing an unlaunched proc just removes it; a plain dispatch
+		// before launch is a sequencing bug.
+		if p.killed {
+			p.dead = true
+			delete(e.procs, p)
+			return
+		}
+		panic(fmt.Sprintf("sim: dispatching proc %q before its start event", p.name))
+	}
+	p.wake <- struct{}{}
+	switch <-p.park {
+	case parkParked:
+		// Parked again; nothing to do.
+	case parkDied:
+		p.dead = true
+		delete(e.procs, p)
+	case parkPanicked:
+		p.dead = true
+		delete(e.procs, p)
+		panic(fmt.Sprintf("sim: proc %q panicked at %v: %v", p.name, e.now, p.panicVal))
+	}
+}
+
+// block parks the proc until some engine event dispatches it again.
+// Model code never calls block directly; sync primitives do.
+func (p *Proc) block(reason string) {
+	if p.dead {
+		panic("sim: blocking a dead proc")
+	}
+	p.blockedOn = reason
+	p.park <- parkParked
+	<-p.wake
+	if p.killed {
+		panic(killSentinel)
+	}
+	p.blockedOn = ""
+}
+
+// Name returns the proc's name.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine driving this proc.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current simulation time.
+func (p *Proc) Now() Time { return p.eng.Now() }
+
+// Sleep blocks the proc for d of simulated time.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative sleep %v", d))
+	}
+	if d == 0 {
+		// Even a zero sleep yields: the wake goes through the event
+		// queue, preserving FIFO ordering with same-time events.
+	}
+	p.eng.After(d, func() { p.eng.dispatch(p) })
+	p.block("sleep")
+}
+
+// SleepUntil blocks the proc until absolute time t (no-op if t <= now).
+func (p *Proc) SleepUntil(t Time) {
+	if t <= p.Now() {
+		return
+	}
+	p.Sleep(t.Sub(p.Now()))
+}

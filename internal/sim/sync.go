@@ -1,0 +1,300 @@
+package sim
+
+import "fmt"
+
+// Signal is a condition-variable-like primitive. Procs Wait on it; a
+// Broadcast wakes every current waiter (in FIFO order), a Pulse wakes only
+// the first. As with condition variables, waiters re-check their predicate
+// in a loop.
+type Signal struct {
+	eng     *Engine
+	waiters []*Proc
+}
+
+// NewSignal returns a Signal bound to e.
+func NewSignal(e *Engine) *Signal { return &Signal{eng: e} }
+
+// Wait parks p until the next Broadcast/Pulse. reason is reported by
+// Engine.Blocked.
+func (s *Signal) Wait(p *Proc, reason string) {
+	s.waiters = append(s.waiters, p)
+	p.block(reason)
+}
+
+// Broadcast wakes all current waiters in FIFO order. The wakes are
+// delivered as zero-delay events, so they interleave deterministically
+// with other same-time events.
+func (s *Signal) Broadcast() {
+	ws := s.waiters
+	s.waiters = nil
+	for _, w := range ws {
+		w := w
+		s.eng.After(0, func() { s.eng.dispatch(w) })
+	}
+}
+
+// Pulse wakes only the first (oldest) waiter.
+func (s *Signal) Pulse() {
+	if len(s.waiters) == 0 {
+		return
+	}
+	w := s.waiters[0]
+	s.waiters = s.waiters[1:]
+	s.eng.After(0, func() { s.eng.dispatch(w) })
+}
+
+// Waiting returns the number of procs currently waiting.
+func (s *Signal) Waiting() int { return len(s.waiters) }
+
+// Semaphore is a counting semaphore with strict FIFO granting: a large
+// request at the head of the queue blocks later smaller ones, which keeps
+// resource handoff deterministic and starvation-free (this matters when
+// modeling DMA engines and firmware run queues).
+type Semaphore struct {
+	eng   *Engine
+	avail int64
+	queue []*semWait
+}
+
+type semWait struct {
+	p *Proc
+	n int64
+}
+
+// NewSemaphore returns a semaphore with n initial units.
+func NewSemaphore(e *Engine, n int64) *Semaphore {
+	if n < 0 {
+		panic("sim: negative semaphore count")
+	}
+	return &Semaphore{eng: e, avail: n}
+}
+
+// Acquire takes n units, blocking p until they are available and it is
+// p's turn (FIFO).
+func (s *Semaphore) Acquire(p *Proc, n int64) {
+	if n < 0 {
+		panic("sim: negative acquire")
+	}
+	if len(s.queue) == 0 && s.avail >= n {
+		s.avail -= n
+		return
+	}
+	s.queue = append(s.queue, &semWait{p: p, n: n})
+	p.block(fmt.Sprintf("sem.acquire(%d)", n))
+}
+
+// TryAcquire takes n units without blocking; it reports whether it
+// succeeded. It fails when waiters are queued, preserving FIFO fairness.
+func (s *Semaphore) TryAcquire(n int64) bool {
+	if len(s.queue) == 0 && s.avail >= n {
+		s.avail -= n
+		return true
+	}
+	return false
+}
+
+// Release returns n units and grants queued waiters in FIFO order.
+func (s *Semaphore) Release(n int64) {
+	if n < 0 {
+		panic("sim: negative release")
+	}
+	s.avail += n
+	s.drain()
+}
+
+func (s *Semaphore) drain() {
+	for len(s.queue) > 0 && s.queue[0].n <= s.avail {
+		w := s.queue[0]
+		s.queue = s.queue[1:]
+		s.avail -= w.n
+		p := w.p
+		s.eng.After(0, func() { s.eng.dispatch(p) })
+	}
+}
+
+// Available returns the number of free units.
+func (s *Semaphore) Available() int64 { return s.avail }
+
+// QueueLen returns the number of blocked acquirers.
+func (s *Semaphore) QueueLen() int { return len(s.queue) }
+
+// Queue is a bounded FIFO of items with blocking Put/Get, modeling
+// hardware queues and mailboxes. A capacity of 0 means unbounded.
+type Queue[T any] struct {
+	eng      *Engine
+	name     string
+	capacity int
+	items    []T
+	changed  *Signal
+}
+
+// NewQueue returns a queue with the given capacity (0 = unbounded).
+func NewQueue[T any](e *Engine, name string, capacity int) *Queue[T] {
+	return &Queue[T]{eng: e, name: name, capacity: capacity, changed: NewSignal(e)}
+}
+
+// Put appends v, blocking while the queue is full.
+func (q *Queue[T]) Put(p *Proc, v T) {
+	for q.capacity > 0 && len(q.items) >= q.capacity {
+		q.changed.Wait(p, q.name+".put")
+	}
+	q.items = append(q.items, v)
+	q.changed.Broadcast()
+}
+
+// TryPut appends v if there is room, reporting success.
+func (q *Queue[T]) TryPut(v T) bool {
+	if q.capacity > 0 && len(q.items) >= q.capacity {
+		return false
+	}
+	q.items = append(q.items, v)
+	q.changed.Broadcast()
+	return true
+}
+
+// Get removes and returns the head item, blocking while the queue is empty.
+func (q *Queue[T]) Get(p *Proc) T {
+	for len(q.items) == 0 {
+		q.changed.Wait(p, q.name+".get")
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	q.changed.Broadcast()
+	return v
+}
+
+// TryGet removes and returns the head item if any.
+func (q *Queue[T]) TryGet() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	q.changed.Broadcast()
+	return v, true
+}
+
+// Len returns the current number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Cap returns the queue capacity (0 = unbounded).
+func (q *Queue[T]) Cap() int { return q.capacity }
+
+// ByteFIFO models a byte-granularity hardware FIFO (like the APEnet+
+// 32 KB TX FIFO) with blocking producers/consumers and level thresholds
+// for flow-control logic (almost-full / almost-empty watermarks).
+type ByteFIFO struct {
+	eng      *Engine
+	name     string
+	capacity int64
+	level    int64
+	changed  *Signal
+}
+
+// NewByteFIFO returns a FIFO holding up to capacity bytes.
+func NewByteFIFO(e *Engine, name string, capacity int64) *ByteFIFO {
+	if capacity <= 0 {
+		panic("sim: ByteFIFO capacity must be positive")
+	}
+	return &ByteFIFO{eng: e, name: name, capacity: capacity, changed: NewSignal(e)}
+}
+
+// Put inserts n bytes, blocking until there is room for all of them.
+func (f *ByteFIFO) Put(p *Proc, n int64) {
+	if n > f.capacity {
+		panic(fmt.Sprintf("sim: %s: put %d exceeds capacity %d", f.name, n, f.capacity))
+	}
+	for f.level+n > f.capacity {
+		f.changed.Wait(p, f.name+".put")
+	}
+	f.level += n
+	f.changed.Broadcast()
+}
+
+// Get removes n bytes, blocking until they are present.
+func (f *ByteFIFO) Get(p *Proc, n int64) {
+	for f.level < n {
+		f.changed.Wait(p, f.name+".get")
+	}
+	f.level -= n
+	f.changed.Broadcast()
+}
+
+// GetUpTo removes up to max bytes (at least 1), blocking while empty.
+func (f *ByteFIFO) GetUpTo(p *Proc, max int64) int64 {
+	for f.level == 0 {
+		f.changed.Wait(p, f.name+".get")
+	}
+	n := f.level
+	if n > max {
+		n = max
+	}
+	f.level -= n
+	f.changed.Broadcast()
+	return n
+}
+
+// WaitLevelBelow blocks until the fill level drops below mark.
+func (f *ByteFIFO) WaitLevelBelow(p *Proc, mark int64) {
+	for f.level >= mark {
+		f.changed.Wait(p, f.name+".belowmark")
+	}
+}
+
+// Level returns the current fill level in bytes.
+func (f *ByteFIFO) Level() int64 { return f.level }
+
+// Capacity returns the FIFO capacity in bytes.
+func (f *ByteFIFO) Capacity() int64 { return f.capacity }
+
+// Free returns the remaining space in bytes.
+func (f *ByteFIFO) Free() int64 { return f.capacity - f.level }
+
+// Resource is a serial FIFO server with utilization accounting: callers
+// Use it for a duration; concurrent users queue. It models links, DMA
+// engines, and any one-at-a-time hardware block.
+type Resource struct {
+	name string
+	sem  *Semaphore
+	busy Duration
+	uses int64
+}
+
+// NewResource returns a serial resource named name.
+func NewResource(e *Engine, name string) *Resource {
+	return &Resource{name: name, sem: NewSemaphore(e, 1)}
+}
+
+// Use occupies the resource for d, after waiting for its turn.
+func (r *Resource) Use(p *Proc, d Duration) {
+	r.sem.Acquire(p, 1)
+	p.Sleep(d)
+	r.busy += d
+	r.uses++
+	r.sem.Release(1)
+}
+
+// Acquire takes exclusive ownership without a fixed duration; pair it
+// with Release. Busy time is not accounted for in this mode.
+func (r *Resource) Acquire(p *Proc) { r.sem.Acquire(p, 1) }
+
+// Release returns ownership taken by Acquire.
+func (r *Resource) Release() { r.sem.Release(1) }
+
+// BusyTime returns the total time spent serving Use calls.
+func (r *Resource) BusyTime() Duration { return r.busy }
+
+// Uses returns the number of completed Use calls.
+func (r *Resource) Uses() int64 { return r.uses }
+
+// Utilization returns busy time divided by now (0 if now is 0).
+func (r *Resource) Utilization(now Time) float64 {
+	if now == 0 {
+		return 0
+	}
+	return float64(r.busy) / float64(now)
+}
+
+// Name returns the resource name.
+func (r *Resource) Name() string { return r.name }

@@ -1,0 +1,160 @@
+// Package torus provides the 3D torus topology and the dimension-ordered
+// static routing of the APEnet+ router: packets correct X first, then Y,
+// then Z, taking the shorter wrap-around direction in each dimension.
+package torus
+
+import "fmt"
+
+// Dims is the size of a torus in each dimension. The paper's Cluster I is
+// {4,2,1}.
+type Dims struct {
+	X, Y, Z int
+}
+
+// Coord is a node position.
+type Coord struct {
+	X, Y, Z int
+}
+
+// Dir is a link direction out of a node; the APEnet+ router has six.
+type Dir int
+
+// Directions, in the router's dimension order.
+const (
+	XPlus Dir = iota
+	XMinus
+	YPlus
+	YMinus
+	ZPlus
+	ZMinus
+	NumDirs
+)
+
+var dirNames = [...]string{"X+", "X-", "Y+", "Y-", "Z+", "Z-"}
+
+func (d Dir) String() string {
+	if d < 0 || d >= NumDirs {
+		return fmt.Sprintf("Dir(%d)", int(d))
+	}
+	return dirNames[d]
+}
+
+// Opposite returns the reverse direction (X+ <-> X-, ...).
+func (d Dir) Opposite() Dir { return d ^ 1 }
+
+// Nodes returns the number of nodes in the torus.
+func (d Dims) Nodes() int { return d.X * d.Y * d.Z }
+
+// Valid reports whether all dimensions are positive.
+func (d Dims) Valid() bool { return d.X > 0 && d.Y > 0 && d.Z > 0 }
+
+func (d Dims) String() string { return fmt.Sprintf("%dx%dx%d", d.X, d.Y, d.Z) }
+
+// Contains reports whether c is a valid coordinate.
+func (d Dims) Contains(c Coord) bool {
+	return c.X >= 0 && c.X < d.X && c.Y >= 0 && c.Y < d.Y && c.Z >= 0 && c.Z < d.Z
+}
+
+// Rank linearizes a coordinate (X fastest).
+func (d Dims) Rank(c Coord) int {
+	if !d.Contains(c) {
+		panic(fmt.Sprintf("torus: coordinate %v outside %v", c, d))
+	}
+	return c.X + d.X*(c.Y+d.Y*c.Z)
+}
+
+// CoordOf inverts Rank.
+func (d Dims) CoordOf(rank int) Coord {
+	if rank < 0 || rank >= d.Nodes() {
+		panic(fmt.Sprintf("torus: rank %d outside %v", rank, d))
+	}
+	return Coord{
+		X: rank % d.X,
+		Y: (rank / d.X) % d.Y,
+		Z: rank / (d.X * d.Y),
+	}
+}
+
+// Neighbor returns the coordinate one hop away in direction dir, with
+// wrap-around.
+func (d Dims) Neighbor(c Coord, dir Dir) Coord {
+	mod := func(v, n int) int { return ((v % n) + n) % n }
+	switch dir {
+	case XPlus:
+		c.X = mod(c.X+1, d.X)
+	case XMinus:
+		c.X = mod(c.X-1, d.X)
+	case YPlus:
+		c.Y = mod(c.Y+1, d.Y)
+	case YMinus:
+		c.Y = mod(c.Y-1, d.Y)
+	case ZPlus:
+		c.Z = mod(c.Z+1, d.Z)
+	case ZMinus:
+		c.Z = mod(c.Z-1, d.Z)
+	default:
+		panic("torus: bad direction")
+	}
+	return c
+}
+
+// step returns the hops and direction to correct one dimension from a to b
+// over a ring of size n: the shorter way around, positive on ties.
+func step(a, b, n int) (hops int, positive bool) {
+	delta := ((b - a) % n + n) % n
+	if delta == 0 {
+		return 0, true
+	}
+	if delta <= n-delta {
+		return delta, true
+	}
+	return n - delta, false
+}
+
+// Route returns the dimension-ordered hop sequence from a to b.
+func (d Dims) Route(a, b Coord) []Dir {
+	var out []Dir
+	appendHops := func(hops int, plus, minus Dir, positive bool) {
+		dir := plus
+		if !positive {
+			dir = minus
+		}
+		for i := 0; i < hops; i++ {
+			out = append(out, dir)
+		}
+	}
+	h, pos := step(a.X, b.X, d.X)
+	appendHops(h, XPlus, XMinus, pos)
+	h, pos = step(a.Y, b.Y, d.Y)
+	appendHops(h, YPlus, YMinus, pos)
+	h, pos = step(a.Z, b.Z, d.Z)
+	appendHops(h, ZPlus, ZMinus, pos)
+	return out
+}
+
+// HopCount returns the length of the dimension-ordered route.
+func (d Dims) HopCount(a, b Coord) int {
+	hx, _ := step(a.X, b.X, d.X)
+	hy, _ := step(a.Y, b.Y, d.Y)
+	hz, _ := step(a.Z, b.Z, d.Z)
+	return hx + hy + hz
+}
+
+// AvgHops returns the mean hop count over all ordered node pairs (a
+// measure of how much an all-to-all stresses the torus vs. a crossbar).
+func (d Dims) AvgHops() float64 {
+	n := d.Nodes()
+	if n <= 1 {
+		return 0
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			total += d.HopCount(d.CoordOf(i), d.CoordOf(j))
+		}
+	}
+	return float64(total) / float64(n*(n-1))
+}

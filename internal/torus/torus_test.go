@@ -1,0 +1,115 @@
+package torus
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRankCoordRoundTrip(t *testing.T) {
+	d := Dims{4, 2, 3}
+	for r := 0; r < d.Nodes(); r++ {
+		c := d.CoordOf(r)
+		if got := d.Rank(c); got != r {
+			t.Fatalf("rank(coord(%d)) = %d", r, got)
+		}
+	}
+}
+
+func TestNeighborWraps(t *testing.T) {
+	d := Dims{4, 2, 1}
+	c := Coord{3, 1, 0}
+	if got := d.Neighbor(c, XPlus); got != (Coord{0, 1, 0}) {
+		t.Fatalf("X+ wrap: %v", got)
+	}
+	if got := d.Neighbor(Coord{0, 0, 0}, XMinus); got != (Coord{3, 0, 0}) {
+		t.Fatalf("X- wrap: %v", got)
+	}
+	if got := d.Neighbor(c, YPlus); got != (Coord{3, 0, 0}) {
+		t.Fatalf("Y+ wrap: %v", got)
+	}
+	// Z dimension of size 1 wraps to itself.
+	if got := d.Neighbor(c, ZPlus); got != c {
+		t.Fatalf("Z+ on flat dim: %v", got)
+	}
+}
+
+func TestOpposite(t *testing.T) {
+	pairs := [][2]Dir{{XPlus, XMinus}, {YPlus, YMinus}, {ZPlus, ZMinus}}
+	for _, pr := range pairs {
+		if pr[0].Opposite() != pr[1] || pr[1].Opposite() != pr[0] {
+			t.Fatalf("opposite of %v/%v wrong", pr[0], pr[1])
+		}
+	}
+}
+
+func TestRouteDimensionOrder(t *testing.T) {
+	d := Dims{4, 4, 4}
+	route := d.Route(Coord{0, 0, 0}, Coord{2, 3, 1})
+	// X first (2 hops +), then Y (1 hop -, since 3 is closer backwards),
+	// then Z (1 hop +).
+	want := []Dir{XPlus, XPlus, YMinus, ZPlus}
+	if len(route) != len(want) {
+		t.Fatalf("route = %v", route)
+	}
+	for i := range want {
+		if route[i] != want[i] {
+			t.Fatalf("route = %v, want %v", route, want)
+		}
+	}
+}
+
+// Property: following the route from a arrives exactly at b, and its
+// length equals HopCount.
+func TestRouteArrivesProperty(t *testing.T) {
+	d := Dims{4, 2, 3}
+	f := func(ar, br uint8) bool {
+		a := d.CoordOf(int(ar) % d.Nodes())
+		b := d.CoordOf(int(br) % d.Nodes())
+		route := d.Route(a, b)
+		if len(route) != d.HopCount(a, b) {
+			return false
+		}
+		c := a
+		for _, dir := range route {
+			c = d.Neighbor(c, dir)
+		}
+		return c == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: hop count is symmetric and respects the diameter.
+func TestHopCountProperties(t *testing.T) {
+	d := Dims{4, 2, 1}
+	diameter := 4/2 + 2/2 // 3
+	for i := 0; i < d.Nodes(); i++ {
+		for j := 0; j < d.Nodes(); j++ {
+			a, b := d.CoordOf(i), d.CoordOf(j)
+			h1, h2 := d.HopCount(a, b), d.HopCount(b, a)
+			if h1 != h2 {
+				t.Fatalf("asymmetric hops %v<->%v: %d vs %d", a, b, h1, h2)
+			}
+			if h1 > diameter {
+				t.Fatalf("hops %v->%v = %d exceeds diameter %d", a, b, h1, diameter)
+			}
+			if (h1 == 0) != (i == j) {
+				t.Fatalf("zero hops iff same node violated: %v %v", a, b)
+			}
+		}
+	}
+}
+
+func TestAvgHopsCluster1(t *testing.T) {
+	// The paper's Cluster I: 4x2 torus. Average distance matters for the
+	// BFS all-to-all analysis.
+	d := Dims{4, 2, 1}
+	got := d.AvgHops()
+	if got < 1.5 || got > 2.0 {
+		t.Fatalf("avg hops on 4x2 = %f, expected ~1.7", got)
+	}
+	if (Dims{1, 1, 1}).AvgHops() != 0 {
+		t.Fatal("single node avg hops should be 0")
+	}
+}

@@ -1,0 +1,173 @@
+// Package trace records timestamped model events. It plays the role of the
+// PCIe bus analyzer ("active interposer") the paper used to produce Fig 3:
+// components emit events; the recorder filters, summarizes and renders them.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"apenetsim/internal/sim"
+)
+
+// Event is one recorded occurrence.
+type Event struct {
+	T     sim.Time
+	Comp  string // emitting component, e.g. "pcie.apenet0", "gpu0.p2p"
+	Kind  string // event kind, e.g. "read_req", "data", "mailbox_write"
+	Bytes int64  // payload size if applicable
+	Note  string
+}
+
+// Recorder collects events. A nil *Recorder is valid and records nothing,
+// so model components can trace unconditionally.
+type Recorder struct {
+	events  []Event
+	enabled bool
+}
+
+// New returns an enabled recorder.
+func New() *Recorder { return &Recorder{enabled: true} }
+
+// Emit records an event. Safe on a nil or disabled recorder.
+func (r *Recorder) Emit(t sim.Time, comp, kind string, bytes int64, note string) {
+	if r == nil || !r.enabled {
+		return
+	}
+	r.events = append(r.events, Event{T: t, Comp: comp, Kind: kind, Bytes: bytes, Note: note})
+}
+
+// Enabled reports whether the recorder captures events.
+func (r *Recorder) Enabled() bool { return r != nil && r.enabled }
+
+// SetEnabled toggles capturing.
+func (r *Recorder) SetEnabled(v bool) {
+	if r != nil {
+		r.enabled = v
+	}
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.events)
+}
+
+// Events returns all recorded events in emission order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	return r.events
+}
+
+// Reset discards recorded events.
+func (r *Recorder) Reset() {
+	if r != nil {
+		r.events = r.events[:0]
+	}
+}
+
+// Filter returns the events matching the given component and kind
+// prefixes; empty prefixes match everything.
+func (r *Recorder) Filter(compPrefix, kindPrefix string) []Event {
+	if r == nil {
+		return nil
+	}
+	var out []Event
+	for _, ev := range r.events {
+		if strings.HasPrefix(ev.Comp, compPrefix) && strings.HasPrefix(ev.Kind, kindPrefix) {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// First returns the first event matching comp/kind prefixes, or ok=false.
+func (r *Recorder) First(compPrefix, kindPrefix string) (Event, bool) {
+	evs := r.Filter(compPrefix, kindPrefix)
+	if len(evs) == 0 {
+		return Event{}, false
+	}
+	return evs[0], true
+}
+
+// Last returns the last event matching comp/kind prefixes, or ok=false.
+func (r *Recorder) Last(compPrefix, kindPrefix string) (Event, bool) {
+	evs := r.Filter(compPrefix, kindPrefix)
+	if len(evs) == 0 {
+		return Event{}, false
+	}
+	return evs[len(evs)-1], true
+}
+
+// WriteText renders the trace as aligned text, one event per line.
+func (r *Recorder) WriteText(w io.Writer) error {
+	for _, ev := range r.Events() {
+		var err error
+		if ev.Bytes > 0 {
+			_, err = fmt.Fprintf(w, "%12s  %-22s %-18s %7dB  %s\n", ev.T, ev.Comp, ev.Kind, ev.Bytes, ev.Note)
+		} else {
+			_, err = fmt.Fprintf(w, "%12s  %-22s %-18s %9s %s\n", ev.T, ev.Comp, ev.Kind, "", ev.Note)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders the trace as CSV with a header row.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "time_ps,component,kind,bytes,note"); err != nil {
+		return err
+	}
+	for _, ev := range r.Events() {
+		note := strings.ReplaceAll(ev.Note, `"`, `""`)
+		if _, err := fmt.Fprintf(w, "%d,%s,%s,%d,%q\n", int64(ev.T), ev.Comp, ev.Kind, ev.Bytes, note); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary aggregates per (component, kind): count, bytes, time span.
+type Summary struct {
+	Comp, Kind string
+	Count      int
+	Bytes      int64
+	First      sim.Time
+	Last       sim.Time
+}
+
+// Summarize groups recorded events by (component, kind), sorted by
+// component then kind.
+func (r *Recorder) Summarize() []Summary {
+	agg := map[[2]string]*Summary{}
+	for _, ev := range r.Events() {
+		k := [2]string{ev.Comp, ev.Kind}
+		s, ok := agg[k]
+		if !ok {
+			s = &Summary{Comp: ev.Comp, Kind: ev.Kind, First: ev.T}
+			agg[k] = s
+		}
+		s.Count++
+		s.Bytes += ev.Bytes
+		s.Last = ev.T
+	}
+	out := make([]Summary, 0, len(agg))
+	for _, s := range agg {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Comp != out[j].Comp {
+			return out[i].Comp < out[j].Comp
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}

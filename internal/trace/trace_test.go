@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"apenetsim/internal/sim"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Emit(0, "a", "b", 0, "")
+	if r.Len() != 0 || r.Enabled() {
+		t.Fatal("nil recorder misbehaves")
+	}
+	if evs := r.Filter("", ""); evs != nil {
+		t.Fatal("nil recorder returned events")
+	}
+}
+
+func TestFilterAndFirstLast(t *testing.T) {
+	r := New()
+	r.Emit(sim.Time(1*sim.Microsecond), "pcie.apenet0", "read_req", 128, "")
+	r.Emit(sim.Time(2*sim.Microsecond), "gpu0.p2p", "data", 4096, "")
+	r.Emit(sim.Time(3*sim.Microsecond), "pcie.apenet0", "read_req", 128, "")
+	if got := r.Filter("pcie", ""); len(got) != 2 {
+		t.Fatalf("Filter = %d events", len(got))
+	}
+	first, ok := r.First("pcie", "read_req")
+	if !ok || first.T != sim.Time(1*sim.Microsecond) {
+		t.Fatalf("First = %+v, %v", first, ok)
+	}
+	last, ok := r.Last("pcie", "read_req")
+	if !ok || last.T != sim.Time(3*sim.Microsecond) {
+		t.Fatalf("Last = %+v, %v", last, ok)
+	}
+	if _, ok := r.First("nope", ""); ok {
+		t.Fatal("First matched nothing but reported ok")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	r := New()
+	for i := 0; i < 10; i++ {
+		r.Emit(sim.Time(i)*sim.Time(sim.Microsecond), "gpu0.p2p", "data", 128, "")
+	}
+	r.Emit(sim.Time(99*sim.Microsecond), "gpu0.p2p", "req", 0, "")
+	sums := r.Summarize()
+	if len(sums) != 2 {
+		t.Fatalf("got %d summaries", len(sums))
+	}
+	if sums[0].Kind != "data" || sums[0].Count != 10 || sums[0].Bytes != 1280 {
+		t.Fatalf("summary = %+v", sums[0])
+	}
+	if sums[0].First != 0 || sums[0].Last != sim.Time(9*sim.Microsecond) {
+		t.Fatalf("span = %v..%v", sums[0].First, sums[0].Last)
+	}
+}
+
+func TestWriteTextAndCSV(t *testing.T) {
+	r := New()
+	r.Emit(sim.Time(1800*sim.Nanosecond), "gpu0.p2p", "first_data", 128, `head latency`)
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "1.8us") || !strings.Contains(sb.String(), "first_data") {
+		t.Fatalf("text output: %q", sb.String())
+	}
+	sb.Reset()
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "time_ps,component,kind,bytes,note") {
+		t.Fatalf("csv header missing: %q", sb.String())
+	}
+	if !strings.Contains(sb.String(), "1800000,gpu0.p2p,first_data,128") {
+		t.Fatalf("csv row missing: %q", sb.String())
+	}
+}
+
+func TestSetEnabledAndReset(t *testing.T) {
+	r := New()
+	r.SetEnabled(false)
+	r.Emit(0, "a", "b", 1, "")
+	if r.Len() != 0 {
+		t.Fatal("disabled recorder captured event")
+	}
+	r.SetEnabled(true)
+	r.Emit(0, "a", "b", 1, "")
+	if r.Len() != 1 {
+		t.Fatal("enabled recorder missed event")
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}

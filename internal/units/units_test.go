@@ -1,0 +1,93 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"apenetsim/internal/sim"
+)
+
+func TestByteSizeString(t *testing.T) {
+	cases := []struct {
+		s    ByteSize
+		want string
+	}{
+		{32, "32"},
+		{512, "512"},
+		{4 * KB, "4K"},
+		{32 * KB, "32K"},
+		{1 * MB, "1M"},
+		{4 * MB, "4M"},
+		{3 * GB, "3G"},
+		{4*KB + 1, "4097"},
+	}
+	for _, c := range cases {
+		if got := c.s.String(); got != c.want {
+			t.Errorf("%d: got %q want %q", int64(c.s), got, c.want)
+		}
+	}
+}
+
+func TestBandwidthString(t *testing.T) {
+	if got := Bandwidth(1536 * 1e6).String(); got != "1.54 GB/s" {
+		t.Errorf("got %q", got)
+	}
+	if got := Bandwidth(600 * 1e6).String(); got != "600.0 MB/s" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestGbps(t *testing.T) {
+	// 28 Gbps torus link = 3.5 GB/s raw.
+	if got := Gbps(28); math.Abs(float64(got)-3.5e9) > 1 {
+		t.Errorf("Gbps(28) = %v", got)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	// 4 KB at 1536 MB/s = 2.666 us.
+	d := TransferTime(4*KB, 1536*MBps)
+	want := sim.FromNanos(4096.0 / 1536e6 * 1e9)
+	if d != want {
+		t.Errorf("TransferTime = %v, want %v", d, want)
+	}
+	if TransferTime(0, MBps) != 0 {
+		t.Error("zero bytes should take zero time")
+	}
+}
+
+func TestRateInvertsTransferTime(t *testing.T) {
+	f := func(kb uint16, mbps uint16) bool {
+		n := ByteSize(int64(kb)+1) * KB
+		b := Bandwidth(float64(mbps)+1) * MBps
+		d := TransferTime(n, b)
+		got := Rate(n, d)
+		return math.Abs(float64(got)-float64(b))/float64(b) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowersOfTwo(t *testing.T) {
+	got := PowersOfTwo(4*KB, 32*KB)
+	want := []ByteSize{4 * KB, 8 * KB, 16 * KB, 32 * KB}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestPowersOfTwoBadRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non power-of-two range")
+		}
+	}()
+	PowersOfTwo(4*KB, 33*KB)
+}
