@@ -2,12 +2,21 @@
 // techniques applied to a cluster interconnect" (Ammendola et al., 2013)
 // on the simulated APEnet+ cluster.
 //
+// Experiments are independent simulations, so they run on a worker pool
+// (-parallel) without changing any result. Every run can be saved as a
+// JSON report (-json, schema in docs/REPORTS.md) and diffed against a
+// previous one (-baseline): numeric cells that move beyond -tolerance are
+// classified as regressions or improvements by their column unit, and
+// regressions make the command exit non-zero.
+//
 // Usage:
 //
 //	apebench -list
 //	apebench -run fig7
 //	apebench -run table1,table2 -csv
-//	apebench -all -quick
+//	apebench -all -quick -parallel 4 -json out.json
+//	apebench -all -quick -baseline BENCH_2026-07-27.json -tolerance 1
+//	apebench -all -quick -json auto   # writes BENCH_<date>.json
 package main
 
 import (
@@ -26,6 +35,11 @@ func main() {
 	all := flag.Bool("all", false, "run every experiment")
 	quick := flag.Bool("quick", false, "reduced sweeps / problem sizes")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	parallel := flag.Int("parallel", 1, "worker count (0 = all CPUs)")
+	jsonOut := flag.String("json", "", "write the run as JSON to this file ('auto' = BENCH_<date>.json)")
+	baseline := flag.String("baseline", "", "diff the run against this JSON report; exit 1 on regressions")
+	tolerance := flag.Float64("tolerance", 0, "per-cell relative tolerance for -baseline, in percent")
+	seed := flag.Int64("seed", 0, "base RNG seed; 0 keeps the paper-default seeds")
 	flag.Parse()
 
 	if *list {
@@ -54,15 +68,78 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := bench.Options{Quick: *quick}
-	for _, e := range todo {
-		start := time.Now()
-		rep := e.Run(opts)
+	runner := bench.Runner{
+		Parallel: *parallel,
+		Opts:     bench.Options{Quick: *quick, Seed: *seed},
+		Progress: func(r bench.Result) {
+			status := fmt.Sprintf("%.1fs, %d sim steps", r.WallSeconds, r.SimSteps)
+			if r.Err != "" {
+				status = "FAILED: " + r.Err
+			}
+			fmt.Fprintf(os.Stderr, "apebench: %-12s (%s)\n", r.ID, status)
+		},
+	}
+	start := time.Now()
+	report := runner.Run(todo)
+	elapsed := time.Since(start)
+
+	failed := 0
+	for _, res := range report.Results {
+		if res.Err != "" {
+			failed++ // already reported by the Progress callback
+			continue
+		}
 		if *csv {
-			fmt.Print(rep.CSV())
+			fmt.Print(res.Report.CSV())
 		} else {
-			fmt.Print(rep.Render())
-			fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+			fmt.Print(res.Report.Render())
+			fmt.Printf("(%s in %.1fs, %d engines, %d sim steps)\n\n",
+				res.ID, res.WallSeconds, res.SimEngines, res.SimSteps)
 		}
 	}
+	if !*csv {
+		fmt.Printf("ran %d experiments in %s wall (%.1fs serial work, %d sim steps, %d workers)\n",
+			len(report.Results), elapsed.Round(100*time.Millisecond),
+			report.TotalWallSeconds(), report.TotalSimSteps(), report.Parallel)
+	}
+
+	if *jsonOut != "" {
+		path := *jsonOut
+		if path == "auto" {
+			path = "BENCH_" + time.Now().UTC().Format("2006-01-02") + ".json"
+		}
+		if err := report.SaveJSON(path); err != nil {
+			fmt.Fprintln(os.Stderr, "apebench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "apebench: wrote %s\n", path)
+	}
+
+	exit := 0
+	if *baseline != "" {
+		base, err := bench.LoadRun(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "apebench:", err)
+			os.Exit(1)
+		}
+		if base.Quick != report.Quick || base.Seed != report.Seed {
+			fmt.Fprintf(os.Stderr, "apebench: incompatible baseline %s (quick=%v seed=%d, this run quick=%v seed=%d); rerun with matching flags\n",
+				*baseline, base.Quick, base.Seed, report.Quick, report.Seed)
+			os.Exit(1)
+		}
+		// Keep stdout parseable in -csv mode; the diff goes to stderr there.
+		diffOut := os.Stdout
+		if *csv {
+			diffOut = os.Stderr
+		}
+		diff := bench.CompareRuns(report, base, *tolerance)
+		fmt.Fprintf(diffOut, "baseline %s:\n%s", *baseline, diff.Render())
+		if !diff.Clean() {
+			exit = 1
+		}
+	}
+	if failed > 0 {
+		exit = 1
+	}
+	os.Exit(exit)
 }

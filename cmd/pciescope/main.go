@@ -6,6 +6,7 @@
 //
 //	pciescope -size 1M -version 2 -window 32K
 //	pciescope -size 64K -version 3 -csv
+//	pciescope -size 64K -json
 package main
 
 import (
@@ -22,40 +23,21 @@ import (
 	"apenetsim/internal/units"
 )
 
-func parseSize(s string) (units.ByteSize, error) {
-	var n int64
-	var suffix string
-	if _, err := fmt.Sscanf(s, "%d%s", &n, &suffix); err != nil {
-		if _, err := fmt.Sscanf(s, "%d", &n); err != nil {
-			return 0, fmt.Errorf("bad size %q", s)
-		}
-		suffix = ""
-	}
-	switch suffix {
-	case "", "B":
-		return units.ByteSize(n), nil
-	case "K", "KB":
-		return units.ByteSize(n) * units.KB, nil
-	case "M", "MB":
-		return units.ByteSize(n) * units.MB, nil
-	}
-	return 0, fmt.Errorf("bad size suffix %q", suffix)
-}
-
 func main() {
 	sizeStr := flag.String("size", "1M", "transfer size (e.g. 64K, 1M)")
 	version := flag.Int("version", 2, "GPU_P2P_TX generation (1, 2, 3)")
 	windowStr := flag.String("window", "32K", "prefetch window")
 	csv := flag.Bool("csv", false, "dump the capture as CSV")
+	jsonOut := flag.Bool("json", false, "dump the capture as JSON")
 	summary := flag.Bool("summary", true, "print the per-component summary")
 	flag.Parse()
 
-	size, err := parseSize(*sizeStr)
+	size, err := units.ParseByteSize(*sizeStr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pciescope:", err)
 		os.Exit(2)
 	}
-	window, err := parseSize(*windowStr)
+	window, err := units.ParseByteSize(*windowStr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pciescope:", err)
 		os.Exit(2)
@@ -91,6 +73,13 @@ func main() {
 	eng.Shutdown()
 
 	elapsed := done.Sub(start)
+	if *jsonOut {
+		if err := rec.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "pciescope:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	fmt.Printf("# GPU_P2P_TX v%d window=%s size=%s: %v (%s)\n",
 		*version, window, size, elapsed, units.Rate(size, elapsed))
 	if *csv {

@@ -1,0 +1,3 @@
+module apenetsim
+
+go 1.21

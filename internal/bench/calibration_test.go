@@ -118,7 +118,7 @@ func TestCalStagingAndIBLatency(t *testing.T) {
 	cfg := core.DefaultConfig()
 	staged := StagedTwoNodeLatency(cfg, 32, 60)
 	within(t, "G-G staged latency us", staged.Micros(), 14.5, 19.5)
-	ibl := IBTwoNodeLatency(8, mpigpu.MVAPICH2(), 32, 60)
+	ibl := IBTwoNodeLatency(nil, 8, mpigpu.MVAPICH2(), 32, 60)
 	within(t, "G-G IB latency us", ibl.Micros(), 15.0, 19.5)
 	p2p := TwoNodeLatency(cfg, core.GPUMem, core.GPUMem, 32, 60)
 	if ratio := staged.Micros() / p2p.Micros(); ratio < 1.6 {
@@ -139,7 +139,7 @@ func TestCalFig7Crossover(t *testing.T) {
 	if float64(st512k) <= float64(p2p512k) {
 		t.Errorf("at 512K, staging (%v) should beat P2P (%v)", st512k, p2p512k)
 	}
-	ib4m := IBTwoNodeBW(8, mpigpu.MVAPICH2(), 4*units.MB)
+	ib4m := IBTwoNodeBW(nil, 8, mpigpu.MVAPICH2(), 4*units.MB)
 	within(t, "IB G-G at 4M MB/s", ib4m.MBpsValue(), 2400, 3400)
 	if float64(ib4m) < float64(p2p512k)*1.5 {
 		t.Errorf("IB at 4M (%v) should clearly beat APEnet P2P (%v)", ib4m, p2p512k)
@@ -159,4 +159,3 @@ func TestCalHostOverhead(t *testing.T) {
 		t.Errorf("overhead ordering H-H < G-G < staged violated: %v %v %v", hh, gg, st)
 	}
 }
-

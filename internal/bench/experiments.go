@@ -17,10 +17,34 @@ import (
 	"apenetsim/internal/units"
 )
 
-// Options tune experiment cost.
+// Options tune experiment cost and carry the runner's per-experiment
+// context (seed, sim-cost accounting).
 type Options struct {
 	// Quick reduces sweep densities and application problem sizes.
 	Quick bool
+	// Seed overrides an experiment's default RNG seed; 0 keeps the paper
+	// defaults. The Runner derives a distinct deterministic value per
+	// experiment from its base seed (see DeriveSeed).
+	Seed int64
+	// Account, when non-nil, aggregates engine and executed-event counts
+	// from every simulation the experiment builds.
+	Account *sim.Account
+}
+
+// SeedOr returns o.Seed, or def when no seed override is set.
+func (o Options) SeedOr(def int64) int64 {
+	if o.Seed != 0 {
+		return o.Seed
+	}
+	return def
+}
+
+// config returns the calibrated card configuration wired to the
+// experiment's accounting.
+func (o Options) config() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Account = o.Account
+	return cfg
 }
 
 // Experiment is a runnable reproduction of one paper table or figure.
@@ -83,9 +107,9 @@ func sweepSizes(o Options, lo, hi units.ByteSize) []units.ByteSize {
 // of a GPU buffer, reporting the engine overhead, the request-to-first-
 // data head latency, and the data streaming time for 1 MB.
 func Fig3(o Options) *Report {
-	eng := sim.New()
+	eng := sim.NewWithAccount(o.Account)
 	defer eng.Shutdown()
-	cfg := core.DefaultConfig()
+	cfg := o.config()
 	cfg.FlushAtSwitch = true
 	cfg.TXVersion = 2
 	cfg.PrefetchWindow = 32 * units.KB
@@ -110,9 +134,9 @@ func Fig3(o Options) *Report {
 	engineOverhead := firstData.T.Sub(submitted) - node.GPU(0).Spec.P2PReadHeadLatency
 	dataTime := lastFetch.T.Sub(firstData.T)
 
-	return &Report{
-		ID:    "fig3",
-		Title: "PCIe timing of GPU P2P transmission, 1 MB, GPU_P2P_TX v2 window=32K",
+	rep := &Report{
+		ID:     "fig3",
+		Title:  "PCIe timing of GPU P2P transmission, 1 MB, GPU_P2P_TX v2 window=32K",
 		Header: []string{"transaction", "measured", "paper"},
 		Rows: [][]string{
 			{"engine overhead before first request (1->2)", engineOverhead.String(), "~3us"},
@@ -121,11 +145,15 @@ func Fig3(o Options) *Report {
 		},
 		Notes: []string{"trace events: " + fmt.Sprint(rec.Len())},
 	}
+	rep.SetMeta("gpu", "Fermi C2050")
+	rep.SetMeta("txversion", "2")
+	rep.SetMeta("window", (32 * units.KB).String())
+	return rep
 }
 
 // Table1 regenerates the low-level bandwidth table.
 func Table1(o Options) *Report {
-	cfg := core.DefaultConfig()
+	cfg := o.config()
 	msg := units.ByteSize(1 * units.MB)
 	rows := [][]string{}
 	add := func(test string, bw units.Bandwidth, gm, tasks, paper string) {
@@ -141,7 +169,8 @@ func Table1(o Options) *Report {
 	return &Report{
 		ID:     "table1",
 		Title:  "APEnet+ low-level bandwidths (single-board loop-back)",
-		Header: []string{"test", "MB/s", "GPU/method", "Nios II active tasks", "paper MB/s"},
+		Header: []string{"test", "measured", "GPU/method", "Nios II active tasks", "paper"},
+		Units:  []string{"", "MB/s", "", "", "MB/s"},
 		Rows:   rows,
 	}
 }
@@ -180,14 +209,16 @@ func Fig5(o Options) *Report {
 func gputxSweep(o Options, id, title string, flush bool) *Report {
 	sizes := sweepSizes(o, 4*units.KB, 4*units.MB)
 	header := []string{"msg"}
+	unitsRow := []string{""}
 	for _, c := range gputxConfigs() {
 		header = append(header, c.label)
+		unitsRow = append(unitsRow, "MB/s")
 	}
 	var rows [][]string
 	for _, msg := range sizes {
 		row := []string{msg.String()}
 		for _, c := range gputxConfigs() {
-			cfg := core.DefaultConfig()
+			cfg := o.config()
 			cfg.TXVersion = c.ver
 			if c.window > 0 {
 				cfg.PrefetchWindow = c.window
@@ -202,14 +233,16 @@ func gputxSweep(o Options, id, title string, flush bool) *Report {
 		}
 		rows = append(rows, row)
 	}
-	return &Report{ID: id, Title: title, Header: header, Rows: rows,
+	rep := &Report{ID: id, Title: title, Header: header, Units: unitsRow, Rows: rows,
 		Notes: []string{"paper: v1 caps ~600; v2 grows with window to ~1.5 GB/s; v3 best"}}
+	rep.SetMeta("gpu", "Fermi C2050")
+	return rep
 }
 
 // Fig6 sweeps the four source/destination combinations between two nodes.
 func Fig6(o Options) *Report {
 	sizes := sweepSizes(o, 32, 4*units.MB)
-	cfg := core.DefaultConfig()
+	cfg := o.config()
 	combos := []struct {
 		label    string
 		src, dst core.MemKind
@@ -220,8 +253,10 @@ func Fig6(o Options) *Report {
 		{"G-G", core.GPUMem, core.GPUMem},
 	}
 	header := []string{"msg"}
+	unitsRow := []string{""}
 	for _, c := range combos {
 		header = append(header, c.label)
+		unitsRow = append(unitsRow, "MB/s")
 	}
 	var rows [][]string
 	for _, msg := range sizes {
@@ -232,25 +267,26 @@ func Fig6(o Options) *Report {
 		rows = append(rows, row)
 	}
 	return &Report{ID: "fig6", Title: "Two-node uni-directional bandwidth, MB/s",
-		Header: header, Rows: rows,
+		Header: header, Units: unitsRow, Rows: rows,
 		Notes: []string{"paper: host-source curves plateau at 1.2 GB/s; GPU-source curves reach plateau only beyond 32K"}}
 }
 
 // Fig7 compares G-G methods: P2P, staging, IB/MVAPICH2.
 func Fig7(o Options) *Report {
 	sizes := sweepSizes(o, 32, 4*units.MB)
-	cfg := core.DefaultConfig()
+	cfg := o.config()
 	var rows [][]string
 	for _, msg := range sizes {
 		rows = append(rows, []string{
 			msg.String(),
 			f0(TwoNodeBW(cfg, core.GPUMem, core.GPUMem, msg).MBpsValue()),
 			f0(StagedTwoNodeBW(cfg, msg).MBpsValue()),
-			f0(IBTwoNodeBW(8, mpigpu.MVAPICH2(), msg).MBpsValue()),
+			f0(IBTwoNodeBW(o.Account, 8, mpigpu.MVAPICH2(), msg).MBpsValue()),
 		})
 	}
 	return &Report{ID: "fig7", Title: "G-G bandwidth by method, MB/s",
 		Header: []string{"msg", "APEnet+ P2P=ON", "APEnet+ P2P=OFF (staging)", "IB MVAPICH2"},
+		Units:  []string{"", "MB/s", "MB/s", "MB/s"},
 		Rows:   rows,
 		Notes:  []string{"paper: P2P wins up to 32K; staging better beyond; IB wins at large sizes"}}
 }
@@ -258,7 +294,7 @@ func Fig7(o Options) *Report {
 // Fig8 sweeps ping-pong latency for the four buffer combinations.
 func Fig8(o Options) *Report {
 	sizes := sweepSizes(o, 32, 4*units.KB)
-	cfg := core.DefaultConfig()
+	cfg := o.config()
 	iters := 100
 	if o.Quick {
 		iters = 40
@@ -273,8 +309,10 @@ func Fig8(o Options) *Report {
 		{"G-G", core.GPUMem, core.GPUMem},
 	}
 	header := []string{"msg"}
+	unitsRow := []string{""}
 	for _, c := range combos {
 		header = append(header, c.label)
+		unitsRow = append(unitsRow, "us")
 	}
 	var rows [][]string
 	for _, msg := range sizes {
@@ -285,14 +323,14 @@ func Fig8(o Options) *Report {
 		rows = append(rows, row)
 	}
 	return &Report{ID: "fig8", Title: "Half round-trip latency, us",
-		Header: header, Rows: rows,
+		Header: header, Units: unitsRow, Rows: rows,
 		Notes: []string{"paper: H-H 6.3 us, G-G 8.2 us at small sizes"}}
 }
 
 // Fig9 compares G-G latency across methods.
 func Fig9(o Options) *Report {
 	sizes := sweepSizes(o, 32, 64*units.KB)
-	cfg := core.DefaultConfig()
+	cfg := o.config()
 	iters := 60
 	if o.Quick {
 		iters = 24
@@ -303,11 +341,12 @@ func Fig9(o Options) *Report {
 			msg.String(),
 			f1(TwoNodeLatency(cfg, core.GPUMem, core.GPUMem, msg, iters).Micros()),
 			f1(StagedTwoNodeLatency(cfg, msg, iters).Micros()),
-			f1(IBTwoNodeLatency(8, mpigpu.MVAPICH2(), msg, iters).Micros()),
+			f1(IBTwoNodeLatency(o.Account, 8, mpigpu.MVAPICH2(), msg, iters).Micros()),
 		})
 	}
 	return &Report{ID: "fig9", Title: "G-G latency by method, us",
 		Header: []string{"msg", "APEnet+ P2P=ON", "APEnet+ P2P=OFF", "IB MVAPICH2"},
+		Units:  []string{"", "us", "us", "us"},
 		Rows:   rows,
 		Notes:  []string{"paper: 8.2 vs 16.8 vs 17.4 us at small sizes — P2P halves staging latency"}}
 }
@@ -315,7 +354,7 @@ func Fig9(o Options) *Report {
 // Fig10 reports the sender-side per-message time (LogP o).
 func Fig10(o Options) *Report {
 	sizes := sweepSizes(o, 32, 4*units.KB)
-	cfg := core.DefaultConfig()
+	cfg := o.config()
 	var rows [][]string
 	for _, msg := range sizes {
 		rows = append(rows, []string{
@@ -327,6 +366,7 @@ func Fig10(o Options) *Report {
 	}
 	return &Report{ID: "fig10", Title: "Host overhead per message, us",
 		Header: []string{"msg", "H-H", "G-G P2P=ON", "G-G P2P=OFF"},
+		Units:  []string{"", "us", "us", "us"},
 		Rows:   rows,
 		Notes:  []string{"paper: ~5 us H-H, ~8 us G-G, ~17 us staged"}}
 }
@@ -345,7 +385,7 @@ func Table2(o Options) *Report {
 	}
 	var rows [][]string
 	for _, np := range []int{1, 2, 4, 8} {
-		r, err := hsg.Run(hsg.Config{L: 256, NP: np, Sweeps: sweeps, Mode: mpigpu.P2POn})
+		r, err := hsg.Run(hsg.Config{L: 256, NP: np, Sweeps: sweeps, Mode: mpigpu.P2POn, Account: o.Account})
 		must(err)
 		pp := paper[np]
 		tnet := f0(r.Tnet)
@@ -356,9 +396,13 @@ func Table2(o Options) *Report {
 			fmt.Sprint(np), f0(r.Ttot), f0(r.TbndPlusNet), tnet, pp[0], pp[1], pp[2],
 		})
 	}
-	return &Report{ID: "table2", Title: "HSG single-spin update time (ps), strong scaling, L=256, P2P on",
+	rep := &Report{ID: "table2", Title: "HSG single-spin update time (ps), strong scaling, L=256, P2P on",
 		Header: []string{"NP", "Ttot", "Tbnd+Tnet", "Tnet", "paper Ttot", "paper Tbnd+Tnet", "paper Tnet"},
+		Units:  []string{"", "ps", "ps", "ps", "ps", "ps", "ps"},
 		Rows:   rows}
+	rep.SetMeta("L", "256")
+	rep.SetMeta("sweeps", fmt.Sprint(sweeps))
+	return rep
 }
 
 // Table3 regenerates the two-node HSG breakdown across communication modes.
@@ -382,6 +426,7 @@ func Table3(o Options) *Report {
 	for _, v := range variants {
 		cfg := v.cfg
 		cfg.L, cfg.NP, cfg.Sweeps = 256, 2, sweeps
+		cfg.Account = o.Account
 		r, err := hsg.Run(cfg)
 		must(err)
 		rows = append(rows, []string{
@@ -391,6 +436,7 @@ func Table3(o Options) *Report {
 	}
 	return &Report{ID: "table3", Title: "HSG two-node breakdown (ps per spin), L=256",
 		Header: []string{"variant", "Ttot", "Tbnd+Tnet", "Tnet", "paper Ttot", "paper Tbnd+Tnet", "paper Tnet"},
+		Units:  []string{"", "ps", "ps", "ps", "ps", "ps", "ps"},
 		Rows:   rows}
 }
 
@@ -407,7 +453,7 @@ func Fig11(o Options) *Report {
 			base := 0.0
 			row := []string{fmt.Sprintf("SIDE=%d %s", L, mode)}
 			for _, np := range []int{1, 2, 4, 8} {
-				r, err := hsg.Run(hsg.Config{L: L, NP: np, Sweeps: sweeps, Mode: mode})
+				r, err := hsg.Run(hsg.Config{L: L, NP: np, Sweeps: sweeps, Mode: mode, Account: o.Account})
 				if err != nil {
 					row = append(row, "n/a")
 					continue
@@ -422,6 +468,7 @@ func Fig11(o Options) *Report {
 	}
 	return &Report{ID: "fig11", Title: "HSG strong-scaling speedup (20 Gbps links)",
 		Header: []string{"variant", "NP=1", "NP=2", "NP=4", "NP=8"},
+		Units:  []string{"", "x", "x", "x", "x"},
 		Rows:   rows,
 		Notes:  []string{"paper: L=128 scales only to ~2; L=256 to 4-8; L=512 super-linear (inefficient single-GPU baseline)"}}
 }
@@ -432,24 +479,29 @@ func Table4(o Options) *Report {
 	if o.Quick {
 		scale = 16
 	}
-	g := graph.BuildCSR(graph.Kronecker(scale, 16, 1))
+	seed := o.SeedOr(1)
+	g := graph.BuildCSR(graph.Kronecker(scale, 16, seed))
 	paperA := map[int]string{1: "6.7e+07", 2: "9.8e+07", 4: "1.3e+08", 8: "1.7e+08"}
 	paperI := map[int]string{1: "6.2e+07", 2: "7.8e+07", 4: "8.2e+07", 8: "2.0e+08"}
 	var rows [][]string
 	for _, np := range []int{1, 2, 4, 8} {
-		ra, err := bfs.Run(bfs.Config{Scale: scale, NP: np, Fabric: bfs.FabricAPEnet, Graph: g, Seed: 1})
+		ra, err := bfs.Run(bfs.Config{Scale: scale, NP: np, Fabric: bfs.FabricAPEnet, Graph: g, Seed: seed, Account: o.Account})
 		must(err)
-		ri, err := bfs.Run(bfs.Config{Scale: scale, NP: np, Fabric: bfs.FabricIB, Graph: g, Seed: 1})
+		ri, err := bfs.Run(bfs.Config{Scale: scale, NP: np, Fabric: bfs.FabricIB, Graph: g, Seed: seed, Account: o.Account})
 		must(err)
 		rows = append(rows, []string{
 			fmt.Sprint(np), sci(ra.TEPS), sci(ri.TEPS), paperA[np], paperI[np],
 		})
 	}
-	return &Report{ID: "table4",
+	rep := &Report{ID: "table4",
 		Title:  fmt.Sprintf("BFS traversed edges per second, strong scaling, scale %d", scale),
 		Header: []string{"NP", "APEnet+ TEPS", "OMPI/IB TEPS", "paper APEnet+", "paper IB"},
+		Units:  []string{"", "TEPS", "TEPS", "TEPS", "TEPS"},
 		Rows:   rows,
 		Notes:  []string{"paper values are for scale 20; APEnet+ leads up to 4 nodes, IB overtakes at 8 (torus all-to-all congestion + Nios RX serialization)"}}
+	rep.SetMeta("scale", fmt.Sprint(scale))
+	rep.SetMeta("rng_seed", fmt.Sprint(seed))
+	return rep
 }
 
 // Fig12 regenerates the per-task time breakdown at NP=4.
@@ -458,10 +510,11 @@ func Fig12(o Options) *Report {
 	if o.Quick {
 		scale = 16
 	}
-	g := graph.BuildCSR(graph.Kronecker(scale, 16, 1))
-	ra, err := bfs.Run(bfs.Config{Scale: scale, NP: 4, Fabric: bfs.FabricAPEnet, Graph: g, Seed: 1})
+	seed := o.SeedOr(1)
+	g := graph.BuildCSR(graph.Kronecker(scale, 16, seed))
+	ra, err := bfs.Run(bfs.Config{Scale: scale, NP: 4, Fabric: bfs.FabricAPEnet, Graph: g, Seed: seed, Account: o.Account})
 	must(err)
-	ri, err := bfs.Run(bfs.Config{Scale: scale, NP: 4, Fabric: bfs.FabricIB, Graph: g, Seed: 1})
+	ri, err := bfs.Run(bfs.Config{Scale: scale, NP: 4, Fabric: bfs.FabricIB, Graph: g, Seed: seed, Account: o.Account})
 	must(err)
 	var rows [][]string
 	for r := 0; r < 4; r++ {
@@ -473,11 +526,15 @@ func Fig12(o Options) *Report {
 			f2(ri.Breakdown[r].Comm.Seconds() * 1e3),
 		})
 	}
-	return &Report{ID: "fig12",
+	rep := &Report{ID: "fig12",
 		Title:  fmt.Sprintf("BFS per-task breakdown (ms), NP=4, scale %d", scale),
 		Header: []string{"task", "APEnet compute", "APEnet comm", "IB compute", "IB comm"},
+		Units:  []string{"", "ms", "ms", "ms", "ms"},
 		Rows:   rows,
 		Notes:  []string{"paper: communication time ~50% lower on APEnet+"}}
+	rep.SetMeta("scale", fmt.Sprint(scale))
+	rep.SetMeta("rng_seed", fmt.Sprint(seed))
+	return rep
 }
 
 // AblBufList measures small-message latency against the number of
@@ -485,8 +542,8 @@ func Fig12(o Options) *Report {
 func AblBufList(o Options) *Report {
 	var rows [][]string
 	for _, extra := range []int{0, 8, 32, 128, 512} {
-		eng := sim.New()
-		cfg := core.DefaultConfig()
+		eng := sim.NewWithAccount(o.Account)
+		cfg := o.config()
 		cl, err := cluster.TwoNodes(eng, nil, cfg, 0)
 		must(err)
 		a, b := cl.Nodes[0], cl.Nodes[1]
@@ -527,7 +584,8 @@ func AblBufList(o Options) *Report {
 		rows = append(rows, []string{fmt.Sprint(extra + 1), f1(lat.Micros())})
 	}
 	return &Report{ID: "abl-buflist", Title: "H-H latency vs registered buffers (BUF_LIST linear scan)",
-		Header: []string{"buffers", "latency us"},
+		Header: []string{"buffers", "latency"},
+		Units:  []string{"", "us"},
 		Rows:   rows,
 		Notes:  []string{"the paper: RX time 'linearly scales with the number of registered buffers'"}}
 }
@@ -536,13 +594,14 @@ func AblBufList(o Options) *Report {
 func AblNiosClock(o Options) *Report {
 	var rows [][]string
 	for _, mhz := range []float64{100, 200, 400, 800} {
-		cfg := core.DefaultConfig()
+		cfg := o.config()
 		cfg.NiosClockMHz = mhz
 		bw := LoopbackBW(cfg, gpu.Fermi2050(), core.HostMem, core.HostMem, 1*units.MB)
 		rows = append(rows, []string{f0(mhz), f0(bw.MBpsValue())})
 	}
 	return &Report{ID: "abl-nios", Title: "H-H loop-back bandwidth vs Nios II clock",
-		Header: []string{"clock MHz", "MB/s"},
+		Header: []string{"clock", "bandwidth"},
+		Units:  []string{"MHz", "MB/s"},
 		Rows:   rows,
 		Notes:  []string{"the RX firmware is the bottleneck: bandwidth tracks the clock until the wire takes over"}}
 }
@@ -551,13 +610,14 @@ func AblNiosClock(o Options) *Report {
 func AblLink(o Options) *Report {
 	var rows [][]string
 	for _, gbps := range []float64{10, 20, 28, 56} {
-		cfg := core.DefaultConfig()
+		cfg := o.config()
 		cfg.LinkBandwidth = units.Gbps(gbps)
 		bw := TwoNodeBW(cfg, core.HostMem, core.HostMem, 1*units.MB)
 		rows = append(rows, []string{f0(gbps), f0(bw.MBpsValue())})
 	}
 	return &Report{ID: "abl-link", Title: "Two-node H-H bandwidth vs torus link speed",
-		Header: []string{"link Gbps", "MB/s"},
+		Header: []string{"link", "bandwidth"},
+		Units:  []string{"Gbps", "MB/s"},
 		Rows:   rows,
 		Notes:  []string{"beyond ~20 Gbps the Nios II RX path, not the wire, caps the card"}}
 }
@@ -567,12 +627,13 @@ func AblKeplerTX(o Options) *Report {
 	sizes := sweepSizes(o, 4*units.KB, 1*units.MB)
 	var rows [][]string
 	for _, msg := range sizes {
-		p2p := MemReadBW(core.DefaultConfig(), gpu.KeplerK20(), core.GPUMem, core.MethodP2P, msg)
-		bar1 := MemReadBW(core.DefaultConfig(), gpu.KeplerK20(), core.GPUMem, core.MethodBAR1, msg)
+		p2p := MemReadBW(o.config(), gpu.KeplerK20(), core.GPUMem, core.MethodP2P, msg)
+		bar1 := MemReadBW(o.config(), gpu.KeplerK20(), core.GPUMem, core.MethodBAR1, msg)
 		rows = append(rows, []string{msg.String(), f0(p2p.MBpsValue()), f0(bar1.MBpsValue())})
 	}
 	return &Report{ID: "abl-bar1tx", Title: "Kepler GPU read: P2P vs BAR1 method",
-		Header: []string{"msg", "P2P MB/s", "BAR1 MB/s"},
+		Header: []string{"msg", "P2P", "BAR1"},
+		Units:  []string{"", "MB/s", "MB/s"},
 		Rows:   rows,
 		Notes:  []string{"the paper's conclusion: on Kepler BAR1 becomes competitive with the P2P protocol"}}
 }
@@ -581,10 +642,10 @@ func AblKeplerTX(o Options) *Report {
 func AblWindow(o Options) *Report {
 	var rows [][]string
 	for _, w := range []units.ByteSize{4 * units.KB, 16 * units.KB, 32 * units.KB, 128 * units.KB, 512 * units.KB} {
-		cfg2 := core.DefaultConfig()
+		cfg2 := o.config()
 		cfg2.TXVersion = 2
 		cfg2.PrefetchWindow = w
-		cfg3 := core.DefaultConfig()
+		cfg3 := o.config()
 		cfg3.TXVersion = 3
 		cfg3.PrefetchWindow = w
 		rows = append(rows, []string{
@@ -594,7 +655,8 @@ func AblWindow(o Options) *Report {
 		})
 	}
 	return &Report{ID: "abl-window", Title: "GPU read bandwidth vs prefetch window (v2 batch vs v3 streaming)",
-		Header: []string{"window", "v2 MB/s", "v3 MB/s"},
+		Header: []string{"window", "v2", "v3"},
+		Units:  []string{"", "MB/s", "MB/s"},
 		Rows:   rows,
 		Notes:  []string{"v2 approaches the response rate asymptotically; v3 reaches it with any window above a few KB"}}
 }

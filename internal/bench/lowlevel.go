@@ -4,6 +4,22 @@
 // latency / host-overhead benchmarks (OSU-style, but coded against the
 // RDMA API like the paper's own tests), the staging and InfiniBand
 // baselines, and the application experiments.
+//
+// The package is split into three layers:
+//
+//   - measurement primitives (lowlevel.go): one function per benchmark
+//     pattern, each building its own simulated cluster;
+//   - experiments (experiments.go): the registry of paper exhibits and
+//     ablations, each returning a Report — a machine-readable table with
+//     per-column units and metadata;
+//   - the pipeline (runner.go, result.go, baseline.go): a worker-pool
+//     Runner that executes experiments in parallel with per-experiment
+//     wall-time/sim-step accounting, JSON run reports (schema in
+//     docs/REPORTS.md), and a baseline differ that classifies changes as
+//     regressions or improvements by column unit.
+//
+// Experiments are independent full simulations, so parallel execution
+// yields reports bit-identical to serial execution.
 package bench
 
 import (
@@ -54,7 +70,7 @@ func newBuffer(p *sim.Proc, ep *rdma.Endpoint, g *gpu.Device, kind core.MemKind,
 // source) with packets flushed at the internal switch — the Table I /
 // Fig 4 test mode.
 func MemReadBW(cfg core.Config, spec gpu.Spec, kind core.MemKind, method core.TXMethod, msg units.ByteSize) units.Bandwidth {
-	eng := sim.New()
+	eng := sim.NewWithAccount(cfg.Account)
 	defer eng.Shutdown()
 	cfg.FlushAtSwitch = true
 	cfg.GPUTXMethod = method
@@ -88,7 +104,7 @@ func MemReadBW(cfg core.Config, spec gpu.Spec, kind core.MemKind, method core.TX
 // + switch + RX processing on the shared Nios II) — Table I's last rows
 // and Fig 5.
 func LoopbackBW(cfg core.Config, spec gpu.Spec, srcKind, dstKind core.MemKind, msg units.ByteSize) units.Bandwidth {
-	eng := sim.New()
+	eng := sim.NewWithAccount(cfg.Account)
 	defer eng.Shutdown()
 	cfg.FlushAtSwitch = false
 	cl, err := cluster.SingleNode(eng, nil, cfg, spec)
@@ -122,7 +138,7 @@ func LoopbackBW(cfg core.Config, spec gpu.Spec, srcKind, dstKind core.MemKind, m
 // for any source/destination buffer kind combination (Fig 6, and the
 // P2P=ON curve of Fig 7).
 func TwoNodeBW(cfg core.Config, srcKind, dstKind core.MemKind, msg units.ByteSize) units.Bandwidth {
-	eng := sim.New()
+	eng := sim.NewWithAccount(cfg.Account)
 	defer eng.Shutdown()
 	cl, err := cluster.TwoNodes(eng, nil, cfg, 0)
 	must(err)
@@ -172,7 +188,7 @@ func TwoNodeBW(cfg core.Config, srcKind, dstKind core.MemKind, msg units.ByteSiz
 
 // TwoNodeLatency measures half round-trip time with a ping-pong (Figs 8-9).
 func TwoNodeLatency(cfg core.Config, srcKind, dstKind core.MemKind, msg units.ByteSize, iters int) sim.Duration {
-	eng := sim.New()
+	eng := sim.NewWithAccount(cfg.Account)
 	defer eng.Shutdown()
 	cl, err := cluster.TwoNodes(eng, nil, cfg, 0)
 	must(err)
@@ -230,7 +246,7 @@ func HostOverhead(cfg core.Config, srcKind, dstKind core.MemKind, msg units.Byte
 	if staged {
 		return stagedSenderTime(cfg, msg)
 	}
-	eng := sim.New()
+	eng := sim.NewWithAccount(cfg.Account)
 	defer eng.Shutdown()
 	cl, err := cluster.TwoNodes(eng, nil, cfg, 0)
 	must(err)
@@ -273,7 +289,7 @@ func HostOverhead(cfg core.Config, srcKind, dstKind core.MemKind, msg units.Byte
 // stagedSenderTime is the per-message sender time with staging: a
 // synchronous D2H copy before every PUT.
 func stagedSenderTime(cfg core.Config, msg units.ByteSize) sim.Duration {
-	eng := sim.New()
+	eng := sim.NewWithAccount(cfg.Account)
 	defer eng.Shutdown()
 	cl, err := cluster.TwoNodes(eng, nil, cfg, 0)
 	must(err)
@@ -327,7 +343,7 @@ func stagedSenderTime(cfg core.Config, msg units.ByteSize) sim.Duration {
 // (P2P=OFF): sync D2H on the sender, PUT host-to-host, H2D at the
 // receiver — the Fig 7 "P2P=OFF" curve.
 func StagedTwoNodeBW(cfg core.Config, msg units.ByteSize) units.Bandwidth {
-	eng := sim.New()
+	eng := sim.NewWithAccount(cfg.Account)
 	defer eng.Shutdown()
 	cl, err := cluster.TwoNodes(eng, nil, cfg, 0)
 	must(err)
@@ -377,7 +393,7 @@ func StagedTwoNodeBW(cfg core.Config, msg units.ByteSize) units.Bandwidth {
 
 // StagedTwoNodeLatency is the P2P=OFF ping-pong of Fig 9.
 func StagedTwoNodeLatency(cfg core.Config, msg units.ByteSize, iters int) sim.Duration {
-	eng := sim.New()
+	eng := sim.NewWithAccount(cfg.Account)
 	defer eng.Shutdown()
 	cl, err := cluster.TwoNodes(eng, nil, cfg, 0)
 	must(err)
@@ -436,8 +452,8 @@ func StagedTwoNodeLatency(cfg core.Config, msg units.ByteSize, iters int) sim.Du
 // IBTwoNodeBW measures MVAPICH2-over-IB G-G bandwidth between two nodes
 // with the given HCA slot width (Fig 7's reference curve; Cluster II uses
 // x8 slots).
-func IBTwoNodeBW(slotLanes int, mpi mpigpu.Config, msg units.ByteSize) units.Bandwidth {
-	eng := sim.New()
+func IBTwoNodeBW(acct *sim.Account, slotLanes int, mpi mpigpu.Config, msg units.ByteSize) units.Bandwidth {
+	eng := sim.NewWithAccount(acct)
 	defer eng.Shutdown()
 	cl, comms := ibPair(eng, slotLanes, mpi)
 	_ = cl
@@ -467,8 +483,8 @@ func IBTwoNodeBW(slotLanes int, mpi mpigpu.Config, msg units.ByteSize) units.Ban
 }
 
 // IBTwoNodeLatency is the MVAPICH2 G-G OSU latency (Fig 9 reference).
-func IBTwoNodeLatency(slotLanes int, mpi mpigpu.Config, msg units.ByteSize, iters int) sim.Duration {
-	eng := sim.New()
+func IBTwoNodeLatency(acct *sim.Account, slotLanes int, mpi mpigpu.Config, msg units.ByteSize, iters int) sim.Duration {
+	eng := sim.NewWithAccount(acct)
 	defer eng.Shutdown()
 	_, comms := ibPair(eng, slotLanes, mpi)
 	warm := 4

@@ -2,25 +2,100 @@ package bench
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
 // Report is one regenerated table or figure: rows of formatted cells
 // under a header, plus free-form notes (paper comparison, caveats).
+//
+// Cells are carried as rendered strings — exactly what the text table and
+// CSV show — but the report also knows the unit of each column and can
+// parse cells back into numbers (Value), which is what the JSON pipeline
+// and the baseline differ operate on.
 type Report struct {
-	ID    string
-	Title string
-	Header []string
-	Rows  [][]string
-	Notes []string
+	ID     string   `json:"id"`
+	Title  string   `json:"title"`
+	Header []string `json:"header"`
+	// Units holds one unit label per column, parallel to Header ("MB/s",
+	// "us", ...; empty for dimensionless or textual columns). Units drive
+	// the better/worse classification of baseline diffs.
+	Units []string   `json:"units,omitempty"`
+	Rows  [][]string `json:"rows"`
+	Notes []string   `json:"notes,omitempty"`
+	// Meta carries free-form experiment metadata (GPU model, sweep
+	// parameters, problem scale, ...).
+	Meta map[string]string `json:"meta,omitempty"`
 }
 
-// Render formats the report as an aligned text table.
+// SetMeta records one metadata key, allocating the map on first use.
+func (r *Report) SetMeta(k, v string) {
+	if r.Meta == nil {
+		r.Meta = map[string]string{}
+	}
+	r.Meta[k] = v
+}
+
+// Unit returns the unit label of column col, or "" when unknown.
+func (r *Report) Unit(col int) string {
+	if col < 0 || col >= len(r.Units) {
+		return ""
+	}
+	return r.Units[col]
+}
+
+// Value is one parsed report cell: the rendered text plus, when the cell
+// is numeric, its parsed value.
+type Value struct {
+	Text    string
+	Num     float64
+	Numeric bool
+}
+
+// Value parses the cell at (row, col). Out-of-range coordinates yield a
+// zero Value.
+func (r *Report) Value(row, col int) Value {
+	if row < 0 || row >= len(r.Rows) || col < 0 || col >= len(r.Rows[row]) {
+		return Value{}
+	}
+	text := r.Rows[row][col]
+	if n, err := strconv.ParseFloat(text, 64); err == nil {
+		return Value{Text: text, Num: n, Numeric: true}
+	}
+	return Value{Text: text}
+}
+
+// ColumnIndex returns the index of the header label, or -1.
+func (r *Report) ColumnIndex(label string) int {
+	for i, h := range r.Header {
+		if h == label {
+			return i
+		}
+	}
+	return -1
+}
+
+// headerWithUnits returns the header labels with known column units
+// appended, e.g. "bandwidth (MB/s)".
+func (r *Report) headerWithUnits() []string {
+	header := make([]string, len(r.Header))
+	for i, h := range r.Header {
+		if u := r.Unit(i); u != "" {
+			h += " (" + u + ")"
+		}
+		header[i] = h
+	}
+	return header
+}
+
+// Render formats the report as an aligned text table. Column units, when
+// known, are appended to the header labels.
 func (r *Report) Render() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "== %s — %s ==\n", r.ID, r.Title)
-	widths := make([]int, len(r.Header))
-	for i, h := range r.Header {
+	header := r.headerWithUnits()
+	widths := make([]int, len(header))
+	for i, h := range header {
 		widths[i] = len(h)
 	}
 	for _, row := range r.Rows {
@@ -39,8 +114,8 @@ func (r *Report) Render() string {
 		}
 		sb.WriteString("\n")
 	}
-	line(r.Header)
-	sep := make([]string, len(r.Header))
+	line(header)
+	sep := make([]string, len(header))
 	for i := range sep {
 		sep[i] = strings.Repeat("-", widths[i])
 	}
@@ -54,7 +129,8 @@ func (r *Report) Render() string {
 	return sb.String()
 }
 
-// CSV renders the report as comma-separated values.
+// CSV renders the report as comma-separated values. Column units, when
+// known, are appended to the header labels, as in Render.
 func (r *Report) CSV() string {
 	var sb strings.Builder
 	esc := func(s string) string {
@@ -72,14 +148,14 @@ func (r *Report) CSV() string {
 		}
 		sb.WriteString("\n")
 	}
-	write(r.Header)
+	write(r.headerWithUnits())
 	for _, row := range r.Rows {
 		write(row)
 	}
 	return sb.String()
 }
 
-func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
-func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
-func f0(v float64) string { return fmt.Sprintf("%.0f", v) }
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f0(v float64) string  { return fmt.Sprintf("%.0f", v) }
 func sci(v float64) string { return fmt.Sprintf("%.1e", v) }

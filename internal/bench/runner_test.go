@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"apenetsim/internal/sim"
+)
+
+// cheapExperiments picks registry entries that run in well under a second
+// each, so runner semantics can be tested against the real experiments.
+func cheapExperiments(t *testing.T) []Experiment {
+	t.Helper()
+	var out []Experiment
+	for _, id := range []string{"abl-nios", "abl-link", "table1"} {
+		e, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("experiment %s missing from registry", id)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// The tentpole guarantee: a parallel run produces reports bit-identical
+// to a serial run, in the same order.
+func TestRunnerParallelMatchesSerial(t *testing.T) {
+	exps := cheapExperiments(t)
+	serial := (&Runner{Parallel: 1, Opts: Options{Quick: true}}).Run(exps)
+	parallel := (&Runner{Parallel: 4, Opts: Options{Quick: true}}).Run(exps)
+
+	if len(serial.Results) != len(exps) || len(parallel.Results) != len(exps) {
+		t.Fatalf("result counts: serial %d, parallel %d, want %d",
+			len(serial.Results), len(parallel.Results), len(exps))
+	}
+	for i := range exps {
+		s, p := serial.Results[i], parallel.Results[i]
+		if s.ID != exps[i].ID || p.ID != exps[i].ID {
+			t.Fatalf("result %d out of order: serial %s, parallel %s, want %s", i, s.ID, p.ID, exps[i].ID)
+		}
+		if s.Err != "" || p.Err != "" {
+			t.Fatalf("experiment %s failed: serial %q, parallel %q", s.ID, s.Err, p.Err)
+		}
+		if !reflect.DeepEqual(s.Report, p.Report) {
+			t.Errorf("experiment %s: parallel report differs from serial:\nserial:   %+v\nparallel: %+v",
+				s.ID, s.Report, p.Report)
+		}
+		if s.SimSteps == 0 || s.SimEngines == 0 {
+			t.Errorf("experiment %s: serial accounting empty (steps=%d engines=%d)", s.ID, s.SimSteps, s.SimEngines)
+		}
+		if s.SimSteps != p.SimSteps || s.SimEngines != p.SimEngines {
+			t.Errorf("experiment %s: accounting differs: serial %d/%d, parallel %d/%d",
+				s.ID, s.SimEngines, s.SimSteps, p.SimEngines, p.SimSteps)
+		}
+	}
+	if d := CompareRuns(parallel, serial, 0); !d.Clean() {
+		t.Errorf("parallel run does not baseline-diff clean against serial:\n%s", d.Render())
+	}
+}
+
+func TestRunnerProgressAndWholeRunAccount(t *testing.T) {
+	exps := cheapExperiments(t)
+	var seen []string
+	acct := &sim.Account{}
+	r := &Runner{
+		Parallel: 2,
+		Opts:     Options{Quick: true, Account: acct},
+		Progress: func(res Result) { seen = append(seen, res.ID) },
+	}
+	run := r.Run(exps)
+	if len(seen) != len(exps) {
+		t.Fatalf("progress called %d times, want %d", len(seen), len(exps))
+	}
+	if acct.Steps() != run.TotalSimSteps() {
+		t.Fatalf("whole-run account has %d steps, results sum to %d", acct.Steps(), run.TotalSimSteps())
+	}
+	if run.Parallel != 2 {
+		t.Fatalf("run.Parallel = %d, want 2", run.Parallel)
+	}
+}
+
+func TestRunnerCapturesPanic(t *testing.T) {
+	boom := Experiment{ID: "boom", Title: "panics", Run: func(Options) *Report { panic("kaboom") }}
+	ok, _ := Lookup("abl-nios")
+	run := (&Runner{Parallel: 2, Opts: Options{Quick: true}}).Run([]Experiment{boom, ok})
+	if run.Results[0].Err == "" || run.Results[0].Report != nil {
+		t.Fatalf("panic not captured: %+v", run.Results[0])
+	}
+	if run.Results[1].Err != "" || run.Results[1].Report == nil {
+		t.Fatalf("healthy experiment affected by sibling panic: %+v", run.Results[1])
+	}
+}
+
+func TestDeriveSeed(t *testing.T) {
+	if DeriveSeed(0, "table4") != 0 {
+		t.Fatal("zero base must keep paper-default seeds")
+	}
+	a, b := DeriveSeed(7, "table4"), DeriveSeed(7, "fig12")
+	if a == b {
+		t.Fatal("different experiments must get different seeds")
+	}
+	if a <= 0 || b <= 0 {
+		t.Fatalf("derived seeds must be positive: %d %d", a, b)
+	}
+	if a != DeriveSeed(7, "table4") {
+		t.Fatal("seed derivation must be deterministic")
+	}
+	if DeriveSeed(8, "table4") == a {
+		t.Fatal("base seed must influence the derived seed")
+	}
+}
+
+// Seeded runs flow o.Seed into the randomized experiments.
+func TestOptionsSeedOr(t *testing.T) {
+	if (Options{}).SeedOr(1) != 1 {
+		t.Fatal("unset seed must fall back to default")
+	}
+	if (Options{Seed: 42}).SeedOr(1) != 42 {
+		t.Fatal("set seed must win")
+	}
+}

@@ -64,6 +64,8 @@ type Config struct {
 	Kernel     KernelModel
 	// Graph optionally supplies a pre-built CSR (reused across NP runs).
 	Graph *graph.CSR
+	// Account, when non-nil, aggregates the simulation's step count.
+	Account *sim.Account
 }
 
 // RankBreakdown is one task's Fig 12 bar.
@@ -104,7 +106,7 @@ func Run(cfg Config) (Result, error) {
 	root := g.MaxDegreeVertex()
 	numEdges := int64(cfg.Edgefactor) << cfg.Scale
 
-	eng := sim.New()
+	eng := sim.NewWithAccount(cfg.Account)
 	defer eng.Shutdown()
 
 	var cl *cluster.Cluster

@@ -90,6 +90,13 @@ type Config struct {
 	// Buffer registration costs (driver + firmware programming).
 	RegHostCost sim.Duration
 	RegGPUCost  sim.Duration
+
+	// Account, when non-nil, aggregates the executed-step counts of every
+	// engine a measurement builds for this configuration. The config is
+	// already threaded through every benchmark helper and cluster
+	// constructor, so per-experiment sim-cost accounting rides along here
+	// instead of widening each signature.
+	Account *sim.Account
 }
 
 // DefaultConfig returns the calibrated APEnet+ configuration: PCIe x8

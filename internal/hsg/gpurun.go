@@ -112,15 +112,18 @@ type Config struct {
 	LinkGbps float64 // APEnet torus link speed (Fig 11 uses 20 Gbps)
 
 	Timing TimingModel
+
+	// Account, when non-nil, aggregates the simulation's step count.
+	Account *sim.Account
 }
 
 // Result is the paper's Table II/III row material, normalized to
 // picoseconds per (global) spin update like the paper.
 type Result struct {
-	L, NP      int
-	Ttot       float64 // ps/spin
+	L, NP       int
+	Ttot        float64 // ps/spin
 	TbndPlusNet float64
-	Tnet       float64
+	Tnet        float64
 }
 
 // Run executes the simulated multi-GPU HSG and returns per-spin times.
@@ -142,7 +145,7 @@ func Run(cfg Config) (Result, error) {
 		cfg.LinkGbps = 20
 	}
 
-	eng := sim.New()
+	eng := sim.NewWithAccount(cfg.Account)
 	defer eng.Shutdown()
 	rec := (*trace.Recorder)(nil)
 
@@ -163,7 +166,6 @@ func Run(cfg Config) (Result, error) {
 	// incoming messages of 2*L^2 bytes, the paper's "6 outgoing and 6
 	// incoming 128 KB messages" at L=256.
 	msgBytes := units.ByteSize(2 * cfg.L * cfg.L)
-
 
 	type rankStats struct {
 		tot, bnd, net sim.Duration

@@ -59,12 +59,12 @@ func NewAPEnetWorld(p *sim.Proc, cl *cluster.Cluster, n int, mode P2PMode) ([]*A
 			return nil, fmt.Errorf("mpigpu: node %d has no APEnet+ card", i)
 		}
 		c := &APEnetComm{
-			mode:  mode,
-			ep:    rdma.NewEndpoint(node.Card),
-			ctx:   cuda.NewContext(cl.Eng, node.Fab, node.GPU(0), node.HostMem),
-			rank:  i,
-			size:  n,
-			peers: comms,
+			mode:    mode,
+			ep:      rdma.NewEndpoint(node.Card),
+			ctx:     cuda.NewContext(cl.Eng, node.Fab, node.GPU(0), node.HostMem),
+			rank:    i,
+			size:    n,
+			peers:   comms,
 			in:      newInbox(cl.Eng, fmt.Sprintf("ape%d.inbox", i), n),
 			sendSeq: make([]uint64, n),
 			sendq:   sim.NewQueue[*apeSend](cl.Eng, fmt.Sprintf("ape%d.sendq", i), 0),

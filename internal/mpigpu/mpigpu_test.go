@@ -161,4 +161,3 @@ func TestConfigsDiffer(t *testing.T) {
 		t.Fatal("bad defaults")
 	}
 }
-

@@ -1,0 +1,63 @@
+package sim
+
+import "sync/atomic"
+
+// Account aggregates simulation cost — engines created and events
+// executed — across many engines. A single simulated experiment typically
+// spins up dozens of short-lived engines (one per measurement point);
+// attaching them all to one Account yields the experiment's total
+// simulation work.
+//
+// Unlike an Engine, an Account is safe for concurrent use: independent
+// engines running in parallel goroutines may share one, which is how the
+// bench runner attributes sim steps per experiment even when experiments
+// run on a worker pool.
+//
+// The zero value is ready to use. A nil *Account is valid and counts
+// nothing, so engine constructors can take one unconditionally.
+type Account struct {
+	steps   atomic.Uint64
+	engines atomic.Uint64
+}
+
+// Steps returns the total number of events executed by attached engines
+// (flushed at the end of each Run and at Shutdown).
+func (a *Account) Steps() uint64 {
+	if a == nil {
+		return 0
+	}
+	return a.steps.Load()
+}
+
+// Engines returns the number of engines attached so far.
+func (a *Account) Engines() uint64 {
+	if a == nil {
+		return 0
+	}
+	return a.engines.Load()
+}
+
+// AddFrom folds another account's totals into a (nil-safe on both sides).
+func (a *Account) AddFrom(b *Account) {
+	if a == nil || b == nil {
+		return
+	}
+	if n := b.Steps(); n > 0 {
+		a.steps.Add(n)
+	}
+	if n := b.Engines(); n > 0 {
+		a.engines.Add(n)
+	}
+}
+
+func (a *Account) addSteps(n uint64) {
+	if a != nil && n > 0 {
+		a.steps.Add(n)
+	}
+}
+
+func (a *Account) addEngine() {
+	if a != nil {
+		a.engines.Add(1)
+	}
+}

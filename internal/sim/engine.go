@@ -24,16 +24,26 @@ func (ev *Event) Time() Time { return ev.t }
 // independent engines may run in parallel (e.g. parallel tests or
 // parameter sweeps).
 type Engine struct {
-	now    Time
-	heap   []*Event
-	seq    uint64
-	nsteps uint64
-	procs  map[*Proc]struct{}
+	now     Time
+	heap    []*Event
+	seq     uint64
+	nsteps  uint64
+	procs   map[*Proc]struct{}
+	account *Account
+	flushed uint64 // steps already reported to the account
 }
 
 // New returns a new Engine at time zero.
 func New() *Engine {
-	return &Engine{procs: make(map[*Proc]struct{})}
+	return NewWithAccount(nil)
+}
+
+// NewWithAccount returns a new Engine whose executed-step count is
+// aggregated into the Account (nil is fine and equivalent to New).
+// Steps are flushed to the account when Run returns and at Shutdown.
+func NewWithAccount(a *Account) *Engine {
+	a.addEngine()
+	return &Engine{procs: make(map[*Proc]struct{}), account: a}
 }
 
 // Now returns the current simulation time.
@@ -92,6 +102,15 @@ func (e *Engine) Step() bool {
 func (e *Engine) Run() {
 	for e.Step() {
 	}
+	e.flushAccount()
+}
+
+// flushAccount reports steps executed since the last flush.
+func (e *Engine) flushAccount() {
+	if e.nsteps > e.flushed {
+		e.account.addSteps(e.nsteps - e.flushed)
+		e.flushed = e.nsteps
+	}
 }
 
 // RunUntil executes events with timestamps <= t, then sets the clock to t.
@@ -144,6 +163,7 @@ func (e *Engine) Shutdown() {
 		p.killed = true
 		e.dispatch(p)
 	}
+	e.flushAccount()
 }
 
 // heap operations: min-heap ordered by (t, seq).

@@ -101,7 +101,7 @@ func (d Dims) Neighbor(c Coord, dir Dir) Coord {
 // step returns the hops and direction to correct one dimension from a to b
 // over a ring of size n: the shorter way around, positive on ties.
 func step(a, b, n int) (hops int, positive bool) {
-	delta := ((b - a) % n + n) % n
+	delta := ((b-a)%n + n) % n
 	if delta == 0 {
 		return 0, true
 	}

@@ -4,6 +4,7 @@
 package trace
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -14,11 +15,11 @@ import (
 
 // Event is one recorded occurrence.
 type Event struct {
-	T     sim.Time
-	Comp  string // emitting component, e.g. "pcie.apenet0", "gpu0.p2p"
-	Kind  string // event kind, e.g. "read_req", "data", "mailbox_write"
-	Bytes int64  // payload size if applicable
-	Note  string
+	T     sim.Time `json:"t_ps"`
+	Comp  string   `json:"comp"`            // emitting component, e.g. "pcie.apenet0", "gpu0.p2p"
+	Kind  string   `json:"kind"`            // event kind, e.g. "read_req", "data", "mailbox_write"
+	Bytes int64    `json:"bytes,omitempty"` // payload size if applicable
+	Note  string   `json:"note,omitempty"`
 }
 
 // Recorder collects events. A nil *Recorder is valid and records nothing,
@@ -135,13 +136,27 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 	return nil
 }
 
+// WriteJSON renders the trace as a JSON array of events, the
+// machine-readable counterpart of WriteCSV (consumed by the same tooling
+// as the apebench JSON reports; see docs/REPORTS.md).
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	evs := r.Events()
+	if evs == nil {
+		evs = []Event{}
+	}
+	return enc.Encode(evs)
+}
+
 // Summary aggregates per (component, kind): count, bytes, time span.
 type Summary struct {
-	Comp, Kind string
-	Count      int
-	Bytes      int64
-	First      sim.Time
-	Last       sim.Time
+	Comp  string   `json:"comp"`
+	Kind  string   `json:"kind"`
+	Count int      `json:"count"`
+	Bytes int64    `json:"bytes"`
+	First sim.Time `json:"first_ps"`
+	Last  sim.Time `json:"last_ps"`
 }
 
 // Summarize groups recorded events by (component, kind), sorted by

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -94,5 +95,39 @@ func TestSetEnabledAndReset(t *testing.T) {
 	r.Reset()
 	if r.Len() != 0 {
 		t.Fatal("reset did not clear")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := New()
+	r.Emit(10, "pcie.apenet0", "read_req", 128, "q")
+	r.Emit(20, "gpu0.p2p", "data", 0, "")
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var evs []Event
+	if err := json.Unmarshal([]byte(sb.String()), &evs); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if len(evs) != 2 || evs[0].Comp != "pcie.apenet0" || evs[0].T != sim.Time(10) || evs[1].Kind != "data" {
+		t.Fatalf("round trip mismatch: %+v", evs)
+	}
+
+	// Empty and nil recorders produce a valid empty array.
+	sb.Reset()
+	if err := New().WriteJSON(&sb); err != nil {
+		t.Fatalf("empty WriteJSON: %v", err)
+	}
+	if strings.TrimSpace(sb.String()) != "[]" {
+		t.Fatalf("empty recorder JSON = %q, want []", sb.String())
+	}
+	sb.Reset()
+	var nilRec *Recorder
+	if err := nilRec.WriteJSON(&sb); err != nil {
+		t.Fatalf("nil WriteJSON: %v", err)
+	}
+	if strings.TrimSpace(sb.String()) != "[]" {
+		t.Fatalf("nil recorder JSON = %q, want []", sb.String())
 	}
 }

@@ -6,6 +6,8 @@ package units
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"apenetsim/internal/sim"
 )
@@ -36,6 +38,61 @@ func (s ByteSize) String() string {
 	default:
 		return fmt.Sprintf("%d", int64(s))
 	}
+}
+
+// ParseByteSize parses the paper-style rendering of a size: a plain byte
+// count or a number with a K/M/G (or KB/MB/GB) binary suffix, e.g. "32",
+// "4K", "1M". It is the inverse of ByteSize.String.
+func ParseByteSize(s string) (ByteSize, error) {
+	orig := s
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	i := 0
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		i++
+	}
+	if i == 0 {
+		return 0, fmt.Errorf("units: bad size %q", orig)
+	}
+	n, err := strconv.ParseInt(s[:i], 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: bad size %q: %v", orig, err)
+	}
+	var mult ByteSize
+	switch s[i:] {
+	case "", "B":
+		mult = B
+	case "K", "KB":
+		mult = KB
+	case "M", "MB":
+		mult = MB
+	case "G", "GB":
+		mult = GB
+	default:
+		return 0, fmt.Errorf("units: bad size suffix %q in %q", s[i:], orig)
+	}
+	v := ByteSize(n) * mult
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+// MarshalText renders the size in the paper's notation, so byte sizes
+// embedded in JSON reports round-trip as "32K" rather than raw counts.
+func (s ByteSize) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// UnmarshalText parses the paper's notation.
+func (s *ByteSize) UnmarshalText(b []byte) error {
+	v, err := ParseByteSize(string(b))
+	if err != nil {
+		return err
+	}
+	*s = v
+	return nil
 }
 
 // Bandwidth is a transfer rate in bytes per second.

@@ -91,3 +91,50 @@ func TestPowersOfTwoBadRange(t *testing.T) {
 	}()
 	PowersOfTwo(4*KB, 33*KB)
 }
+
+func TestParseByteSizeRoundTrip(t *testing.T) {
+	for _, s := range []ByteSize{0, 1, 32, 1000, 4 * KB, 32 * KB, 1 * MB, 4 * MB, 2 * GB, -4 * KB} {
+		got, err := ParseByteSize(s.String())
+		if err != nil {
+			t.Fatalf("ParseByteSize(%q): %v", s.String(), err)
+		}
+		if got != s {
+			t.Fatalf("ParseByteSize(%q) = %v, want %v", s.String(), got, s)
+		}
+	}
+}
+
+func TestParseByteSizeForms(t *testing.T) {
+	cases := []struct {
+		in   string
+		want ByteSize
+	}{
+		{"32", 32}, {"32B", 32}, {"4K", 4 * KB}, {"4KB", 4 * KB},
+		{"1M", 1 * MB}, {"1MB", 1 * MB}, {"2G", 2 * GB}, {"2GB", 2 * GB},
+	}
+	for _, c := range cases {
+		got, err := ParseByteSize(c.in)
+		if err != nil || got != c.want {
+			t.Fatalf("ParseByteSize(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+	for _, bad := range []string{"", "K", "4X", "4.5K", "x32", "-"} {
+		if _, err := ParseByteSize(bad); err == nil {
+			t.Fatalf("ParseByteSize(%q) accepted", bad)
+		}
+	}
+}
+
+func TestByteSizeTextMarshal(t *testing.T) {
+	b, err := (32 * KB).MarshalText()
+	if err != nil || string(b) != "32K" {
+		t.Fatalf("MarshalText = %q, %v", b, err)
+	}
+	var s ByteSize
+	if err := s.UnmarshalText([]byte("1M")); err != nil || s != 1*MB {
+		t.Fatalf("UnmarshalText = %v, %v", s, err)
+	}
+	if err := s.UnmarshalText([]byte("bogus")); err == nil {
+		t.Fatal("UnmarshalText accepted bogus input")
+	}
+}
