@@ -121,3 +121,29 @@ func BenchmarkAblNiosClock(b *testing.B) { runExperiment(b, "abl-nios", nil) }
 func BenchmarkAblLink(b *testing.B)      { runExperiment(b, "abl-link", nil) }
 func BenchmarkAblKeplerTX(b *testing.B)  { runExperiment(b, "abl-bar1tx", nil) }
 func BenchmarkAblWindow(b *testing.B)    { runExperiment(b, "abl-window", nil) }
+
+func BenchmarkCollHalo(b *testing.B) {
+	runExperiment(b, "coll-halo", func(r *bench.Report) (string, float64) {
+		return "perrank_MB/s", cell(r, 0, 4)
+	})
+}
+
+func BenchmarkCollAllReduce(b *testing.B) {
+	runExperiment(b, "coll-allreduce", func(r *bench.Report) (string, float64) {
+		last := len(r.Rows) - 1
+		return "dimorder_MB/s", cell(r, last, 4)
+	})
+}
+
+func BenchmarkCollAllToAll(b *testing.B) {
+	runExperiment(b, "coll-a2a", func(r *bench.Report) (string, float64) {
+		return "agg_MB/s", cell(r, 0, 3)
+	})
+}
+
+func BenchmarkCollScaling(b *testing.B) {
+	runExperiment(b, "coll-scaling", func(r *bench.Report) (string, float64) {
+		last := len(r.Rows) - 1
+		return "halo_agg_MB/s", cell(r, last, 3)
+	})
+}

@@ -14,6 +14,7 @@
 //	apebench -list
 //	apebench -run fig7
 //	apebench -run table1,table2 -csv
+//	apebench -run coll-scaling -dims 8,8,8
 //	apebench -all -quick -parallel 4 -json out.json
 //	apebench -all -quick -baseline BENCH_2026-07-27.json -tolerance 1
 //	apebench -all -quick -json auto   # writes BENCH_<date>.json
@@ -23,14 +24,54 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"apenetsim/internal/bench"
+	"apenetsim/internal/torus"
 )
 
+// parseDims parses a -dims value like "8,8,8" into torus dimensions.
+func parseDims(s string) (torus.Dims, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return torus.Dims{}, fmt.Errorf("want X,Y,Z (e.g. 8,8,8), got %q", s)
+	}
+	var v [3]int
+	for i, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 1 {
+			return torus.Dims{}, fmt.Errorf("bad dimension %q in %q", p, s)
+		}
+		v[i] = n
+	}
+	return torus.Dims{X: v[0], Y: v[1], Z: v[2]}, nil
+}
+
+// listExperiments prints the registry as a stable aligned table: ID,
+// paper exhibit, title. The same rows, in the same order, appear in
+// docs/EXPERIMENTS.md — the binary is the source of truth.
+func listExperiments() {
+	exps := bench.All()
+	idW, exW := len("ID"), len("EXHIBIT")
+	for _, e := range exps {
+		if len(e.ID) > idW {
+			idW = len(e.ID)
+		}
+		if len(e.Exhibit) > exW {
+			exW = len(e.Exhibit)
+		}
+	}
+	fmt.Printf("%-*s  %-*s  %s\n", idW, "ID", exW, "EXHIBIT", "TITLE")
+	for _, e := range exps {
+		fmt.Printf("%-*s  %-*s  %s\n", idW, e.ID, exW, e.Exhibit, e.Title)
+	}
+	fmt.Println("\ncatalog with expected headline numbers: docs/EXPERIMENTS.md")
+}
+
 func main() {
-	list := flag.Bool("list", false, "list experiment IDs and exit")
+	list := flag.Bool("list", false, "list experiment IDs (with paper exhibits) and exit; full catalog in docs/EXPERIMENTS.md")
 	run := flag.String("run", "", "comma-separated experiment IDs to run")
 	all := flag.Bool("all", false, "run every experiment")
 	quick := flag.Bool("quick", false, "reduced sweeps / problem sizes")
@@ -40,13 +81,21 @@ func main() {
 	baseline := flag.String("baseline", "", "diff the run against this JSON report; exit 1 on regressions")
 	tolerance := flag.Float64("tolerance", 0, "per-cell relative tolerance for -baseline, in percent")
 	seed := flag.Int64("seed", 0, "base RNG seed; 0 keeps the paper-default seeds")
+	dimsFlag := flag.String("dims", "", "torus dimensions X,Y,Z for the coll-* experiments (e.g. 8,8,8)")
 	flag.Parse()
 
 	if *list {
-		for _, e := range bench.All() {
-			fmt.Printf("%-12s %s\n", e.ID, e.Title)
-		}
+		listExperiments()
 		return
+	}
+
+	var dims torus.Dims
+	if *dimsFlag != "" {
+		var err error
+		if dims, err = parseDims(*dimsFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "apebench: -dims: %v\n", err)
+			os.Exit(2)
+		}
 	}
 
 	var todo []bench.Experiment
@@ -70,7 +119,7 @@ func main() {
 
 	runner := bench.Runner{
 		Parallel: *parallel,
-		Opts:     bench.Options{Quick: *quick, Seed: *seed},
+		Opts:     bench.Options{Quick: *quick, Seed: *seed, Dims: dims},
 		Progress: func(r bench.Result) {
 			status := fmt.Sprintf("%.1fs, %d sim steps", r.WallSeconds, r.SimSteps)
 			if r.Err != "" {
@@ -122,9 +171,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "apebench:", err)
 			os.Exit(1)
 		}
-		if base.Quick != report.Quick || base.Seed != report.Seed {
-			fmt.Fprintf(os.Stderr, "apebench: incompatible baseline %s (quick=%v seed=%d, this run quick=%v seed=%d); rerun with matching flags\n",
-				*baseline, base.Quick, base.Seed, report.Quick, report.Seed)
+		if base.Quick != report.Quick || base.Seed != report.Seed || base.Dims != report.Dims {
+			fmt.Fprintf(os.Stderr, "apebench: incompatible baseline %s (quick=%v seed=%d dims=%q, this run quick=%v seed=%d dims=%q); rerun with matching flags\n",
+				*baseline, base.Quick, base.Seed, base.Dims, report.Quick, report.Seed, report.Dims)
 			os.Exit(1)
 		}
 		// Keep stdout parseable in -csv mode; the diff goes to stderr there.

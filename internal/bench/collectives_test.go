@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"apenetsim/internal/torus"
+)
+
+func collExperiments(t *testing.T) []Experiment {
+	t.Helper()
+	var out []Experiment
+	for _, id := range []string{"coll-halo", "coll-allreduce", "coll-a2a", "coll-scaling"} {
+		e, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("experiment %s missing from registry", id)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// The acceptance guarantee for the collective family: parallel execution
+// yields reports bit-identical to serial execution.
+func TestCollParallelMatchesSerial(t *testing.T) {
+	exps := collExperiments(t)
+	serial := (&Runner{Parallel: 1, Opts: Options{Quick: true}}).Run(exps)
+	parallel := (&Runner{Parallel: 4, Opts: Options{Quick: true}}).Run(exps)
+	for i := range exps {
+		s, p := serial.Results[i], parallel.Results[i]
+		if s.Err != "" || p.Err != "" {
+			t.Fatalf("experiment %s failed: serial %q, parallel %q", exps[i].ID, s.Err, p.Err)
+		}
+		if !reflect.DeepEqual(s.Report, p.Report) {
+			t.Errorf("experiment %s: parallel report differs from serial", exps[i].ID)
+		}
+		if s.SimSteps != p.SimSteps {
+			t.Errorf("experiment %s: sim steps differ: %d vs %d", exps[i].ID, s.SimSteps, p.SimSteps)
+		}
+	}
+}
+
+// -dims overrides the torus of every coll experiment; coll-scaling must
+// end its ladder exactly at the override.
+func TestCollScalingDimsOverride(t *testing.T) {
+	dims := torus.Dims{X: 2, Y: 2, Z: 2}
+	rep := CollScaling(Options{Quick: true, Dims: dims})
+	if len(rep.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	last := rep.Rows[len(rep.Rows)-1]
+	if last[0] != "2x2x2" || last[1] != "8" {
+		t.Errorf("ladder does not end at the -dims override: last row %v", last)
+	}
+	for _, row := range rep.Rows[:len(rep.Rows)-1] {
+		if row[0] == "2x2x2" {
+			t.Errorf("override dims duplicated in ladder: %v", rep.Rows)
+		}
+	}
+}
+
+// Every coll report must carry the hotspot columns with parseable cells.
+func TestCollReportsCarryHotspotStats(t *testing.T) {
+	rep := CollHalo(Options{Quick: true, Dims: torus.Dims{X: 2, Y: 2, Z: 1}})
+	utilCol := rep.ColumnIndex("peak link util")
+	linkCol := rep.ColumnIndex("hot link")
+	backlogCol := rep.ColumnIndex("peak backlog")
+	if utilCol < 0 || linkCol < 0 || backlogCol < 0 {
+		t.Fatalf("hotspot columns missing from header %v", rep.Header)
+	}
+	if rep.Unit(utilCol) != "%" || rep.Unit(backlogCol) != "us" {
+		t.Errorf("hotspot units wrong: %q %q", rep.Unit(utilCol), rep.Unit(backlogCol))
+	}
+	for i := range rep.Rows {
+		u := rep.Value(i, utilCol)
+		if !u.Numeric || u.Num <= 0 || u.Num > 100 {
+			t.Errorf("row %d: peak link util %q not a sane percentage", i, u.Text)
+		}
+		if rep.Rows[i][linkCol] == "" || rep.Rows[i][linkCol] == "-" {
+			t.Errorf("row %d: no hot link reported", i)
+		}
+	}
+}

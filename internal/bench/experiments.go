@@ -13,6 +13,7 @@ import (
 	"apenetsim/internal/mpigpu"
 	"apenetsim/internal/rdma"
 	"apenetsim/internal/sim"
+	"apenetsim/internal/torus"
 	"apenetsim/internal/trace"
 	"apenetsim/internal/units"
 )
@@ -26,6 +27,10 @@ type Options struct {
 	// defaults. The Runner derives a distinct deterministic value per
 	// experiment from its base seed (see DeriveSeed).
 	Seed int64
+	// Dims, when valid, overrides the torus dimensions of experiments
+	// that sweep cluster size (the coll-* family); the zero value keeps
+	// each experiment's defaults. Set from apebench's -dims flag.
+	Dims torus.Dims
 	// Account, when non-nil, aggregates engine and executed-event counts
 	// from every simulation the experiment builds.
 	Account *sim.Account
@@ -51,31 +56,41 @@ func (o Options) config() core.Config {
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(Options) *Report
+	// Exhibit names the paper table/figure the experiment regenerates, or
+	// the rationale class for work beyond the paper ("ablation",
+	// "collective"). It keeps `apebench -list` and docs/EXPERIMENTS.md
+	// from drifting apart.
+	Exhibit string
+	Run     func(Options) *Report
 }
 
-// All returns every experiment in paper order, plus the ablations.
+// All returns every experiment in paper order, plus the ablations and
+// the collective workloads.
 func All() []Experiment {
 	return []Experiment{
-		{"fig3", "PCIe timing of a GPU P2P transmission (bus analyzer)", Fig3},
-		{"table1", "APEnet+ low-level loop-back bandwidths", Table1},
-		{"fig4", "GPU memory read bandwidth vs message size (flush mode)", Fig4},
-		{"fig5", "G-G loop-back bandwidth vs message size", Fig5},
-		{"fig6", "Two-node uni-directional bandwidth, four buffer combinations", Fig6},
-		{"fig7", "G-G bandwidth: P2P vs staging vs IB/MVAPICH2", Fig7},
-		{"fig8", "Latency (half round-trip), four buffer combinations", Fig8},
-		{"fig9", "G-G latency: P2P vs staging vs IB/MVAPICH2", Fig9},
-		{"fig10", "Host overhead (LogP o) vs message size", Fig10},
-		{"table2", "HSG strong scaling, L=256, P2P=ON", Table2},
-		{"table3", "HSG two-node breakdown: P2P modes and MPI/IB", Table3},
-		{"fig11", "HSG speedup for L=128/256/512 x P2P modes", Fig11},
-		{"table4", "BFS TEPS strong scaling, |V|=2^20: APEnet+ vs IB", Table4},
-		{"fig12", "BFS per-task execution breakdown at NP=4", Fig12},
-		{"abl-buflist", "Ablation: RX latency vs registered-buffer count", AblBufList},
-		{"abl-nios", "Ablation: loop-back bandwidth vs Nios II clock", AblNiosClock},
-		{"abl-link", "Ablation: two-node bandwidth vs torus link speed", AblLink},
-		{"abl-bar1tx", "Ablation: Kepler TX method (P2P vs BAR1)", AblKeplerTX},
-		{"abl-window", "Ablation: prefetch window beyond the paper's range", AblWindow},
+		{"fig3", "PCIe timing of a GPU P2P transmission (bus analyzer)", "Fig. 3", Fig3},
+		{"table1", "APEnet+ low-level loop-back bandwidths", "Table I", Table1},
+		{"fig4", "GPU memory read bandwidth vs message size (flush mode)", "Fig. 4", Fig4},
+		{"fig5", "G-G loop-back bandwidth vs message size", "Fig. 5", Fig5},
+		{"fig6", "Two-node uni-directional bandwidth, four buffer combinations", "Fig. 6", Fig6},
+		{"fig7", "G-G bandwidth: P2P vs staging vs IB/MVAPICH2", "Fig. 7", Fig7},
+		{"fig8", "Latency (half round-trip), four buffer combinations", "Fig. 8", Fig8},
+		{"fig9", "G-G latency: P2P vs staging vs IB/MVAPICH2", "Fig. 9", Fig9},
+		{"fig10", "Host overhead (LogP o) vs message size", "Fig. 10", Fig10},
+		{"table2", "HSG strong scaling, L=256, P2P=ON", "Table II", Table2},
+		{"table3", "HSG two-node breakdown: P2P modes and MPI/IB", "Table III", Table3},
+		{"fig11", "HSG speedup for L=128/256/512 x P2P modes", "Fig. 11", Fig11},
+		{"table4", "BFS TEPS strong scaling, |V|=2^20: APEnet+ vs IB", "Table IV", Table4},
+		{"fig12", "BFS per-task execution breakdown at NP=4", "Fig. 12", Fig12},
+		{"abl-buflist", "Ablation: RX latency vs registered-buffer count", "ablation", AblBufList},
+		{"abl-nios", "Ablation: loop-back bandwidth vs Nios II clock", "ablation", AblNiosClock},
+		{"abl-link", "Ablation: two-node bandwidth vs torus link speed", "ablation", AblLink},
+		{"abl-bar1tx", "Ablation: Kepler TX method (P2P vs BAR1)", "ablation", AblKeplerTX},
+		{"abl-window", "Ablation: prefetch window beyond the paper's range", "ablation", AblWindow},
+		{"coll-halo", "Halo exchange bandwidth across torus sizes", "collective", CollHalo},
+		{"coll-allreduce", "Allreduce: ring vs dimension-order algorithms", "collective", CollAllReduce},
+		{"coll-a2a", "All-to-all bandwidth and torus hotspots", "collective", CollAllToAll},
+		{"coll-scaling", "Collective scaling up to 8x8x8 (512 cards)", "collective", CollScaling},
 	}
 }
 

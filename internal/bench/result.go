@@ -38,7 +38,11 @@ type Run struct {
 	Parallel      int    `json:"parallel"`
 	// Seed is the base seed per-experiment seeds were derived from
 	// (0 = paper defaults).
-	Seed    int64    `json:"seed,omitempty"`
+	Seed int64 `json:"seed,omitempty"`
+	// Dims records a -dims torus override ("8x8x8"); empty when the
+	// experiments ran with their default dimensions. Additive field:
+	// older schema-1 readers ignore it.
+	Dims    string   `json:"dims,omitempty"`
 	Results []Result `json:"results"`
 }
 

@@ -53,6 +53,9 @@ func (r *Runner) Run(exps []Experiment) *Run {
 		Seed:          r.Opts.Seed,
 		Results:       make([]Result, len(exps)),
 	}
+	if r.Opts.Dims.Valid() {
+		run.Dims = r.Opts.Dims.String()
+	}
 
 	jobs := make(chan int)
 	var wg sync.WaitGroup

@@ -1,0 +1,287 @@
+// Package coll implements collective communication over the simulated
+// APEnet+ RDMA peer-to-peer path: halo/neighbor exchange, ring and
+// dimension-ordered allreduce, broadcast, and all-to-all, on tori far
+// beyond the paper's 4×2×1 platform (up to 8×8×8 = 512 cards).
+//
+// These are the traffic patterns the APEnet+ line of work exists to
+// serve — the HSG halo exchanges and BFS frontier all-to-alls of the
+// paper's §V, and the lattice-QCD collectives the follow-on APEnet+
+// papers target at petaflops scale. Every collective is built from the
+// same RDMA PUT primitive the paper's own benchmarks use, so the card's
+// calibrated TX/RX engines, firmware serialization, and link-level flow
+// control all apply, and the per-link meters on core.Network show where
+// a pattern saturates the torus.
+//
+// Programming model: a World builds one Rank per torus node; each rank
+// runs the same program (SPMD) in its own simulated process, and every
+// rank must issue the same sequence of collective calls — tags that
+// match sends to receives are derived from a per-rank operation counter,
+// exactly like MPI's implicit ordering. Collectives optionally reduce a
+// small vector of float64 values carried alongside the timed wire bytes,
+// which is how the tests check results against a serial reduction
+// without simulating large payload memories.
+package coll
+
+import (
+	"fmt"
+
+	"apenetsim/internal/cluster"
+	"apenetsim/internal/core"
+	"apenetsim/internal/gpu"
+	"apenetsim/internal/rdma"
+	"apenetsim/internal/sim"
+	"apenetsim/internal/torus"
+	"apenetsim/internal/trace"
+	"apenetsim/internal/units"
+)
+
+// Config describes a collective world.
+type Config struct {
+	// Dims is the torus to build; every node gets an APEnet+ card.
+	Dims torus.Dims
+	// Card overrides the calibrated card configuration (nil = default).
+	Card *core.Config
+	// Buf selects where collective payloads live: core.HostMem (zero
+	// value) or core.GPUMem, which adds one Fermi per node and moves
+	// every transfer through the GPU peer-to-peer path.
+	Buf core.MemKind
+	// SlotBytes sizes each rank's registered send/receive buffers; it
+	// bounds the largest single message a collective may send. Default
+	// 4 MB.
+	SlotBytes units.ByteSize
+	// Rec, when non-nil, records trace events (and allows
+	// Network.TraceLinkStats snapshots).
+	Rec *trace.Recorder
+}
+
+// World is a set of SPMD ranks joined by a simulated APEnet+ torus.
+type World struct {
+	Eng   *sim.Engine
+	Cl    *cluster.Cluster
+	Dims  torus.Dims
+	Cfg   Config
+	Ranks []*Rank
+
+	bar *barrier
+}
+
+// Rank is one collective participant: a node, its card endpoint, and the
+// registered buffers collectives move data through.
+type Rank struct {
+	ID    int
+	Coord torus.Coord
+
+	w    *World
+	node *cluster.Node
+	ep   *rdma.Endpoint
+
+	send, recv *rdma.Buffer
+	ops        uint64 // collective-call counter; the tag base generator
+	sendsOut   int    // submitted PUTs not yet drained from the SendCQ
+	pending    map[msgKey][]Msg
+}
+
+// Msg is a received collective message.
+type Msg struct {
+	Src  int
+	Vals []float64
+}
+
+type msgKey struct {
+	tag uint64
+	src int
+}
+
+// collMsg rides as the PUT payload and carries the matching tag.
+type collMsg struct {
+	tag  uint64
+	src  int
+	vals []float64
+}
+
+func must(err error) {
+	if err != nil {
+		panic("coll: " + err.Error())
+	}
+}
+
+// NewWorld builds a torus of cfg.Dims card-equipped nodes. When
+// cfg.Buf is core.GPUMem every node also gets a Fermi C2050 and the
+// collectives exercise the GPU P2P path end to end.
+func NewWorld(eng *sim.Engine, cfg Config) (*World, error) {
+	if !cfg.Dims.Valid() {
+		return nil, fmt.Errorf("coll: invalid torus dimensions %v", cfg.Dims)
+	}
+	if cfg.SlotBytes <= 0 {
+		cfg.SlotBytes = 4 * units.MB
+	}
+	cc := core.DefaultConfig()
+	if cfg.Card != nil {
+		cc = *cfg.Card
+	}
+	var specs []gpu.Spec
+	if cfg.Buf == core.GPUMem {
+		specs = []gpu.Spec{gpu.Fermi2050()}
+	}
+	n := cfg.Dims.Nodes()
+	cl, err := cluster.New(eng, cfg.Rec, cfg.Dims, n, func(i int) cluster.NodeConfig {
+		return cluster.NodeConfig{GPUSpecs: specs, Card: &cc}
+	})
+	if err != nil {
+		return nil, err
+	}
+	w := &World{Eng: eng, Cl: cl, Dims: cfg.Dims, Cfg: cfg, bar: newBarrier(eng, n)}
+	for i, node := range cl.Nodes {
+		w.Ranks = append(w.Ranks, &Rank{
+			ID:      i,
+			Coord:   node.Coord,
+			w:       w,
+			node:    node,
+			ep:      rdma.NewEndpoint(node.Card),
+			pending: map[msgKey][]Msg{},
+		})
+	}
+	return w, nil
+}
+
+// Net returns the torus network (for link stats).
+func (w *World) Net() *core.Network { return w.Cl.Net }
+
+// Run spawns one process per rank executing body and drives the engine to
+// completion. Each rank registers its buffers first; body starts after a
+// world barrier, so ranks enter aligned.
+func (w *World) Run(body func(p *sim.Proc, r *Rank)) {
+	for _, r := range w.Ranks {
+		r := r
+		w.Eng.Go(fmt.Sprintf("coll.rank%d", r.ID), func(p *sim.Proc) {
+			r.setup(p)
+			w.Barrier(p)
+			body(p, r)
+		})
+	}
+	w.Eng.Run()
+}
+
+// setup allocates and registers the rank's communication buffers.
+func (r *Rank) setup(p *sim.Proc) {
+	cfg := r.w.Cfg
+	var err error
+	if cfg.Buf == core.GPUMem {
+		r.send, err = r.ep.NewGPUBuffer(p, r.node.GPU(0), cfg.SlotBytes)
+		must(err)
+		r.recv, err = r.ep.NewGPUBuffer(p, r.node.GPU(0), cfg.SlotBytes)
+		must(err)
+	} else {
+		r.send, err = r.ep.NewHostBuffer(p, cfg.SlotBytes)
+		must(err)
+		r.recv, err = r.ep.NewHostBuffer(p, cfg.SlotBytes)
+		must(err)
+	}
+}
+
+// Barrier blocks until every rank has arrived. It is a zero-cost
+// simulation rendezvous (no network traffic): collectives use it only to
+// align phases for timing, never as part of the measured pattern.
+func (w *World) Barrier(p *sim.Proc) { w.bar.wait(p) }
+
+// Timed runs fn between two world barriers and returns its makespan; the
+// barriers align all ranks, so every rank observes the same duration.
+func (r *Rank) Timed(p *sim.Proc, fn func()) sim.Duration {
+	r.w.Barrier(p)
+	start := p.Now()
+	fn()
+	r.w.Barrier(p)
+	return p.Now().Sub(start)
+}
+
+// opBase mints the tag base for one collective call. All ranks issue the
+// same call sequence (SPMD), so their counters agree and tags match.
+func (r *Rank) opBase() uint64 {
+	r.ops++
+	return r.ops << 16
+}
+
+// put issues one collective message: a PUT of n wire bytes into the
+// destination rank's receive slot, with the tag and values riding as
+// payload. vals are copied so the sender may keep mutating its vector.
+func (r *Rank) put(p *sim.Proc, dst int, n units.ByteSize, tag uint64, vals []float64) {
+	if dst == r.ID {
+		panic("coll: self-send")
+	}
+	if n < 1 {
+		n = 1 // empty segments still need a control message on the wire
+	}
+	if n > r.w.Cfg.SlotBytes {
+		panic(fmt.Sprintf("coll: message %v exceeds slot %v", n, r.w.Cfg.SlotBytes))
+	}
+	var cp []float64
+	if len(vals) > 0 {
+		cp = append(cp, vals...)
+	}
+	peer := r.w.Ranks[dst]
+	_, err := r.ep.Put(p, dst, peer.recv.Addr, r.send, 0, n, rdma.PutFlags{
+		Payload: collMsg{tag: tag, src: r.ID, vals: cp},
+	})
+	must(err)
+	r.sendsOut++
+}
+
+// get blocks until the message with the given tag from src arrives,
+// buffering any other completions that surface first (MPI-style matching
+// over the card's single receive completion queue).
+func (r *Rank) get(p *sim.Proc, tag uint64, src int) Msg {
+	key := msgKey{tag, src}
+	for {
+		if q := r.pending[key]; len(q) > 0 {
+			m := q[0]
+			if len(q) == 1 {
+				delete(r.pending, key)
+			} else {
+				r.pending[key] = q[1:]
+			}
+			return m
+		}
+		comp := r.ep.WaitRecv(p)
+		cm, ok := comp.Payload.(collMsg)
+		if !ok {
+			panic("coll: foreign completion on collective endpoint")
+		}
+		k := msgKey{cm.tag, cm.src}
+		r.pending[k] = append(r.pending[k], Msg{Src: cm.src, Vals: cm.vals})
+	}
+}
+
+// drainSends consumes the local completions of every PUT issued so far,
+// so the send queue cannot grow without bound across phases.
+func (r *Rank) drainSends(p *sim.Proc) {
+	for r.sendsOut > 0 {
+		r.ep.WaitSend(p)
+		r.sendsOut--
+	}
+}
+
+// barrier is a counter-based rendezvous over a Signal.
+type barrier struct {
+	sig     *sim.Signal
+	n       int
+	arrived int
+	gen     uint64
+}
+
+func newBarrier(eng *sim.Engine, n int) *barrier {
+	return &barrier{sig: sim.NewSignal(eng), n: n}
+}
+
+func (b *barrier) wait(p *sim.Proc) {
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.gen++
+		b.sig.Broadcast()
+		return
+	}
+	gen := b.gen
+	for b.gen == gen {
+		b.sig.Wait(p, "coll.barrier")
+	}
+}

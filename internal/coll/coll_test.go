@@ -1,0 +1,304 @@
+package coll
+
+import (
+	"fmt"
+	"testing"
+
+	"apenetsim/internal/core"
+	"apenetsim/internal/sim"
+	"apenetsim/internal/torus"
+	"apenetsim/internal/trace"
+	"apenetsim/internal/units"
+)
+
+// rankVals gives rank i a deterministic integer-valued vector so that
+// sums are exact in float64 and order-independent.
+func rankVals(i, n int) []float64 {
+	v := make([]float64, n)
+	for j := range v {
+		v[j] = float64(i*7 + j + 1)
+	}
+	return v
+}
+
+// serialSum is the reference reduction: elementwise sum over all ranks.
+func serialSum(ranks, n int) []float64 {
+	out := make([]float64, n)
+	for i := 0; i < ranks; i++ {
+		for j, x := range rankVals(i, n) {
+			out[j] += x
+		}
+	}
+	return out
+}
+
+func eq(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func newTestWorld(t *testing.T, dims torus.Dims, buf core.MemKind) (*sim.Engine, *World) {
+	t.Helper()
+	eng := sim.New()
+	w, err := NewWorld(eng, Config{Dims: dims, Buf: buf})
+	if err != nil {
+		t.Fatalf("NewWorld(%v): %v", dims, err)
+	}
+	return eng, w
+}
+
+func TestRingAllReduceMatchesSerialReduction(t *testing.T) {
+	// Odd ring size and a vector length not divisible by it.
+	dims := torus.Dims{X: 3, Y: 2, Z: 1}
+	eng, w := newTestWorld(t, dims, core.HostMem)
+	defer eng.Shutdown()
+	n := dims.Nodes()
+	const vlen = 7
+	want := serialSum(n, vlen)
+	got := make([][]float64, n)
+	w.Run(func(p *sim.Proc, r *Rank) {
+		got[r.ID] = r.AllReduceRing(p, 64*units.KB, rankVals(r.ID, vlen))
+	})
+	for i, g := range got {
+		if !eq(g, want) {
+			t.Errorf("rank %d: ring allreduce = %v, want %v", i, g, want)
+		}
+	}
+}
+
+func TestRingAndDimAllReduceAgree(t *testing.T) {
+	dims := torus.Dims{X: 4, Y: 2, Z: 2}
+	eng, w := newTestWorld(t, dims, core.HostMem)
+	defer eng.Shutdown()
+	n := dims.Nodes()
+	const vlen = 12
+	want := serialSum(n, vlen)
+	ring := make([][]float64, n)
+	dim := make([][]float64, n)
+	w.Run(func(p *sim.Proc, r *Rank) {
+		ring[r.ID] = r.AllReduceRing(p, 128*units.KB, rankVals(r.ID, vlen))
+		dim[r.ID] = r.AllReduceDims(p, 128*units.KB, rankVals(r.ID, vlen))
+	})
+	for i := 0; i < n; i++ {
+		if !eq(ring[i], want) {
+			t.Errorf("rank %d: ring = %v, want %v", i, ring[i], want)
+		}
+		if !eq(dim[i], ring[i]) {
+			t.Errorf("rank %d: dimension-order %v != ring %v", i, dim[i], ring[i])
+		}
+	}
+}
+
+func TestBroadcastDeliversRootVector(t *testing.T) {
+	dims := torus.Dims{X: 3, Y: 3, Z: 2}
+	eng, w := newTestWorld(t, dims, core.HostMem)
+	defer eng.Shutdown()
+	const root = 7
+	want := rankVals(root, 5)
+	got := make([][]float64, dims.Nodes())
+	w.Run(func(p *sim.Proc, r *Rank) {
+		got[r.ID] = r.Broadcast(p, root, 32*units.KB, rankVals(r.ID, 5))
+	})
+	for i, g := range got {
+		if !eq(g, want) {
+			t.Errorf("rank %d: broadcast = %v, want root vector %v", i, g, want)
+		}
+	}
+}
+
+func TestHaloFacesComeFromTorusNeighbors(t *testing.T) {
+	// Paper-scale torus: Y wraps onto the same node twice, Z is degenerate.
+	dims := torus.Dims{X: 4, Y: 2, Z: 1}
+	eng, w := newTestWorld(t, dims, core.HostMem)
+	defer eng.Shutdown()
+	faces := make([]map[torus.Dir]Msg, dims.Nodes())
+	w.Run(func(p *sim.Proc, r *Rank) {
+		faces[r.ID] = r.Halo(p, 16*units.KB, []float64{float64(r.ID)})
+	})
+	for id, fs := range faces {
+		c := dims.CoordOf(id)
+		for dir := torus.Dir(0); dir < torus.NumDirs; dir++ {
+			peer := dims.Rank(dims.Neighbor(c, dir))
+			m, ok := fs[dir]
+			if peer == id {
+				if ok {
+					t.Errorf("rank %d: unexpected face %v on degenerate dimension", id, dir)
+				}
+				continue
+			}
+			if !ok {
+				t.Errorf("rank %d: missing face %v", id, dir)
+				continue
+			}
+			if m.Src != peer || m.Vals[0] != float64(peer) {
+				t.Errorf("rank %d face %v: got src %d vals %v, want neighbor %d", id, dir, m.Src, m.Vals, peer)
+			}
+		}
+	}
+}
+
+func TestAllToAllReceivesFromEveryRank(t *testing.T) {
+	dims := torus.Dims{X: 2, Y: 2, Z: 2}
+	eng, w := newTestWorld(t, dims, core.HostMem)
+	defer eng.Shutdown()
+	n := dims.Nodes()
+	got := make([][]Msg, n)
+	w.Run(func(p *sim.Proc, r *Rank) {
+		got[r.ID] = r.AllToAll(p, 8*units.KB, []float64{float64(r.ID) * 10})
+	})
+	for id, msgs := range got {
+		for src := 0; src < n; src++ {
+			if src == id {
+				continue
+			}
+			if msgs[src].Src != src || msgs[src].Vals[0] != float64(src)*10 {
+				t.Errorf("rank %d: message from %d = %+v", id, src, msgs[src])
+			}
+		}
+	}
+}
+
+// TestLinkByteConservation pins the per-link meters to the routing: the
+// sum of wire bytes over all directed links must equal the sum over
+// messages of (payload + per-packet headers) times the hop count of the
+// dimension-ordered route.
+func TestLinkByteConservation(t *testing.T) {
+	dims := torus.Dims{X: 3, Y: 2, Z: 2}
+	eng, w := newTestWorld(t, dims, core.HostMem)
+	defer eng.Shutdown()
+	const msg = 10 * units.KB // not a multiple of MaxPayload: exercises the tail packet
+	w.Run(func(p *sim.Proc, r *Rank) {
+		r.AllToAll(p, msg, nil)
+	})
+
+	cfg := core.DefaultConfig()
+	packets := int64((msg + cfg.MaxPayload - 1) / cfg.MaxPayload)
+	wirePerMsg := int64(msg) + packets*int64(cfg.HeaderBytes)
+	var want int64
+	n := dims.Nodes()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			hops := int64(dims.HopCount(dims.CoordOf(i), dims.CoordOf(j)))
+			want += wirePerMsg * hops
+		}
+	}
+	if got := w.Net().TotalLinkWireBytes(); got != want {
+		t.Errorf("link wire bytes = %d, want %d (= injected bytes x hops)", got, want)
+	}
+
+	// Per-link sanity: utilization within [0,1], busy time and backlog
+	// consistent, stats sorted and deterministic.
+	now := eng.Now()
+	stats := w.Net().LinkStats()
+	if len(stats) == 0 {
+		t.Fatal("no link stats after an all-to-all")
+	}
+	var sum int64
+	for _, s := range stats {
+		sum += s.WireBytes
+		if u := s.Utilization(now); u < 0 || u > 1 {
+			t.Errorf("link %s: utilization %v out of range", s.Name(), u)
+		}
+		if s.Packets <= 0 || s.Busy <= 0 || s.PeakBacklog < 0 {
+			t.Errorf("link %s: implausible counters %+v", s.Name(), s)
+		}
+	}
+	if sum != want {
+		t.Errorf("LinkStats sum %d != conservation total %d", sum, want)
+	}
+	hot := w.Net().HotLinks(3)
+	if len(hot) != 3 {
+		t.Fatalf("HotLinks(3) returned %d entries", len(hot))
+	}
+	if hot[0].WireBytes < hot[1].WireBytes || hot[1].WireBytes < hot[2].WireBytes {
+		t.Errorf("HotLinks not sorted by wire bytes: %v %v %v", hot[0].WireBytes, hot[1].WireBytes, hot[2].WireBytes)
+	}
+
+	// PeakQueueBytes is the backlog delay expressed at link bandwidth.
+	bw := float64(w.Net().LinkBandwidth())
+	for _, s := range stats {
+		wantQ := units.ByteSize(bw * s.PeakBacklog.Seconds())
+		if s.PeakQueueBytes != wantQ {
+			t.Errorf("link %s: PeakQueueBytes %v, want %v (bw x backlog)", s.Name(), s.PeakQueueBytes, wantQ)
+		}
+		if (s.PeakQueueBytes > 0) != (s.PeakBacklog > 0) {
+			t.Errorf("link %s: queue bytes %v inconsistent with backlog %v", s.Name(), s.PeakQueueBytes, s.PeakBacklog)
+		}
+	}
+
+	// The trace emission mirrors the snapshot: one link_stats event per
+	// active link, carrying its wire bytes. A nil recorder is a no-op.
+	w.Net().TraceLinkStats(nil)
+	rec := trace.New()
+	w.Net().TraceLinkStats(rec)
+	evs := rec.Filter("torus.", "link_stats")
+	if len(evs) != len(stats) {
+		t.Fatalf("TraceLinkStats emitted %d events, want %d (one per active link)", len(evs), len(stats))
+	}
+	var traced int64
+	for _, ev := range evs {
+		traced += ev.Bytes
+	}
+	if traced != want {
+		t.Errorf("traced link bytes %d != conservation total %d", traced, want)
+	}
+}
+
+// TestGPUCollectives runs a halo + allreduce with GPU buffers, the
+// paper-faithful configuration, to cover the P2P TX/RX path.
+func TestGPUCollectives(t *testing.T) {
+	dims := torus.Dims{X: 2, Y: 2, Z: 1}
+	eng, w := newTestWorld(t, dims, core.GPUMem)
+	defer eng.Shutdown()
+	n := dims.Nodes()
+	want := serialSum(n, 4)
+	got := make([][]float64, n)
+	var elapsed sim.Duration
+	w.Run(func(p *sim.Proc, r *Rank) {
+		d := r.Timed(p, func() {
+			r.Halo(p, 64*units.KB, rankVals(r.ID, 4))
+			got[r.ID] = r.AllReduceDims(p, 64*units.KB, rankVals(r.ID, 4))
+		})
+		if r.ID == 0 {
+			elapsed = d
+		}
+	})
+	for i, g := range got {
+		if !eq(g, want) {
+			t.Errorf("rank %d: GPU allreduce = %v, want %v", i, g, want)
+		}
+	}
+	if elapsed <= 0 {
+		t.Errorf("Timed returned %v", elapsed)
+	}
+}
+
+// TestWorldScales is the cheap stand-in for the 512-card run: a 4x4x4
+// world (64 cards) must build, run a halo, and report hotspot stats.
+func TestWorldScales(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64-node world in -short mode")
+	}
+	dims := torus.Dims{X: 4, Y: 4, Z: 4}
+	eng, w := newTestWorld(t, dims, core.HostMem)
+	defer eng.Shutdown()
+	w.Run(func(p *sim.Proc, r *Rank) {
+		faces := r.Halo(p, 32*units.KB, nil)
+		if len(faces) != 6 {
+			panic(fmt.Sprintf("rank %d: %d faces on a full torus", r.ID, len(faces)))
+		}
+	})
+	if got := len(w.Net().LinkStats()); got != 6*dims.Nodes() {
+		t.Errorf("active links = %d, want %d (every directed link used)", got, 6*dims.Nodes())
+	}
+}

@@ -1,0 +1,204 @@
+package coll
+
+import (
+	"apenetsim/internal/sim"
+	"apenetsim/internal/torus"
+	"apenetsim/internal/units"
+)
+
+// dimDirs returns the +/- link directions of dimension dim (0=X,1=Y,2=Z).
+func dimDirs(dim int) (plus, minus torus.Dir) {
+	return torus.Dir(2 * dim), torus.Dir(2*dim + 1)
+}
+
+func dimSize(d torus.Dims, dim int) int {
+	switch dim {
+	case 0:
+		return d.X
+	case 1:
+		return d.Y
+	default:
+		return d.Z
+	}
+}
+
+func coordDim(c torus.Coord, dim int) int {
+	switch dim {
+	case 0:
+		return c.X
+	case 1:
+		return c.Y
+	default:
+		return c.Z
+	}
+}
+
+// Halo performs one face-neighbor exchange: faceBytes to each of the six
+// torus neighbors, carrying vals. It returns the received message per
+// direction; directions along size-1 dimensions (neighbor == self) are
+// skipped. On size-2 dimensions both faces go to the same node as two
+// distinct messages, exactly like a real halo code.
+func (r *Rank) Halo(p *sim.Proc, faceBytes units.ByteSize, vals []float64) map[torus.Dir]Msg {
+	base := r.opBase()
+	d := r.w.Dims
+	type face struct {
+		dir  torus.Dir
+		peer int
+	}
+	var faces []face
+	for dir := torus.Dir(0); dir < torus.NumDirs; dir++ {
+		peer := d.Rank(d.Neighbor(r.Coord, dir))
+		if peer == r.ID {
+			continue
+		}
+		faces = append(faces, face{dir, peer})
+	}
+	for _, f := range faces {
+		r.put(p, f.peer, faceBytes, base|uint64(f.dir), vals)
+	}
+	out := make(map[torus.Dir]Msg, len(faces))
+	for _, f := range faces {
+		// The neighbor in direction dir sent toward us in the opposite
+		// direction; its tag names that sending direction.
+		out[f.dir] = r.get(p, base|uint64(f.dir.Opposite()), f.peer)
+	}
+	r.drainSends(p)
+	return out
+}
+
+// AllReduceRing sum-allreduces vals over every rank with a single global
+// ring (rank order): a reduce-scatter pass then an allgather pass, each
+// N-1 steps moving bytes/N per step — the bandwidth-optimal algorithm on
+// a chain, but one that ignores torus locality.
+func (r *Rank) AllReduceRing(p *sim.Proc, bytes units.ByteSize, vals []float64) []float64 {
+	base := r.opBase()
+	acc := append([]float64(nil), vals...)
+	n := len(r.w.Ranks)
+	r.ringAllReduce(p, base, n, r.ID, (r.ID+1)%n, (r.ID-1+n)%n, bytes, acc)
+	r.drainSends(p)
+	return acc
+}
+
+// AllReduceDims sum-allreduces vals dimension by dimension: a ring
+// allreduce along every X-ring, then every Y-ring, then every Z-ring.
+// All traffic is nearest-neighbor (every hop crosses exactly one link),
+// which is how collectives map onto a 3D torus without congesting it.
+func (r *Rank) AllReduceDims(p *sim.Proc, bytes units.ByteSize, vals []float64) []float64 {
+	acc := append([]float64(nil), vals...)
+	d := r.w.Dims
+	for dim := 0; dim < 3; dim++ {
+		base := r.opBase()
+		k := dimSize(d, dim)
+		if k < 2 {
+			continue
+		}
+		plus, minus := dimDirs(dim)
+		next := d.Rank(d.Neighbor(r.Coord, plus))
+		prev := d.Rank(d.Neighbor(r.Coord, minus))
+		r.ringAllReduce(p, base, k, coordDim(r.Coord, dim), next, prev, bytes, acc)
+	}
+	r.drainSends(p)
+	return acc
+}
+
+// ringAllReduce runs reduce-scatter + allgather on a k-member ring.
+// idx is this rank's ring position; next/prev are the adjacent member
+// ranks. acc is reduced in place; bytes is the full-vector wire size,
+// moved in k segments.
+func (r *Rank) ringAllReduce(p *sim.Proc, base uint64, k, idx, next, prev int, bytes units.ByteSize, acc []float64) {
+	if k < 2 {
+		return
+	}
+	segBytes := (bytes + units.ByteSize(k) - 1) / units.ByteSize(k)
+	v := len(acc)
+	seg := func(i int) (lo, hi int) { return i * v / k, (i + 1) * v / k }
+	sub := uint64(0)
+	// Reduce-scatter: after k-1 steps rank idx holds the fully reduced
+	// segment (idx+1) mod k.
+	for s := 0; s < k-1; s++ {
+		sendSeg := ((idx-s)%k + k) % k
+		recvSeg := ((idx-s-1)%k + k) % k
+		lo, hi := seg(sendSeg)
+		r.put(p, next, segBytes, base|sub, acc[lo:hi])
+		m := r.get(p, base|sub, prev)
+		lo, hi = seg(recvSeg)
+		for i := lo; i < hi; i++ {
+			acc[i] += m.Vals[i-lo]
+		}
+		sub++
+	}
+	// Allgather: circulate the completed segments.
+	for s := 0; s < k-1; s++ {
+		sendSeg := ((idx+1-s)%k + k) % k
+		recvSeg := ((idx-s)%k + k) % k
+		lo, hi := seg(sendSeg)
+		r.put(p, next, segBytes, base|sub, acc[lo:hi])
+		m := r.get(p, base|sub, prev)
+		lo, hi = seg(recvSeg)
+		copy(acc[lo:hi], m.Vals)
+		sub++
+	}
+}
+
+// Broadcast distributes root's vals (bytes on the wire) to every rank by
+// dimension-ordered ring forwarding: along root's X-line, then every
+// Y-ring in root's Z-plane, then every Z-ring. Returns the received
+// vector (root returns its own).
+func (r *Rank) Broadcast(p *sim.Proc, root int, bytes units.ByteSize, vals []float64) []float64 {
+	d := r.w.Dims
+	rootC := d.CoordOf(root)
+	var cur []float64
+	if r.ID == root {
+		cur = append([]float64(nil), vals...)
+	}
+	for dim := 0; dim < 3; dim++ {
+		base := r.opBase()
+		k := dimSize(d, dim)
+		if k < 2 {
+			continue
+		}
+		// A rank joins phase dim iff its later-dimension coordinates match
+		// the root's: those are exactly the ranks reachable by earlier
+		// phases plus the ones this phase fills in.
+		match := true
+		for e := dim + 1; e < 3; e++ {
+			if coordDim(r.Coord, e) != coordDim(rootC, e) {
+				match = false
+			}
+		}
+		if !match {
+			continue
+		}
+		plus, minus := dimDirs(dim)
+		dist := ((coordDim(r.Coord, dim)-coordDim(rootC, dim))%k + k) % k
+		if dist > 0 {
+			m := r.get(p, base, d.Rank(d.Neighbor(r.Coord, minus)))
+			cur = m.Vals
+		}
+		if dist < k-1 {
+			r.put(p, d.Rank(d.Neighbor(r.Coord, plus)), bytes, base, cur)
+		}
+	}
+	r.drainSends(p)
+	return append([]float64(nil), cur...)
+}
+
+// AllToAll sends bytes to every other rank (start offsets rotated per
+// rank to spread injection) and returns the received messages indexed by
+// source rank (the self entry is empty). This is the BFS-style frontier
+// exchange — the pattern that stresses average hop count and exposes
+// torus hotspots.
+func (r *Rank) AllToAll(p *sim.Proc, bytes units.ByteSize, vals []float64) []Msg {
+	base := r.opBase()
+	n := len(r.w.Ranks)
+	out := make([]Msg, n)
+	for off := 1; off < n; off++ {
+		r.put(p, (r.ID+off)%n, bytes, base, vals)
+	}
+	for off := 1; off < n; off++ {
+		src := (r.ID - off + n) % n
+		out[src] = r.get(p, base, src)
+	}
+	r.drainSends(p)
+	return out
+}

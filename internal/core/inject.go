@@ -43,8 +43,7 @@ func (c *Card) runInjector(p *sim.Proc) {
 		// Link-level flow control: wait for receive buffering at the
 		// destination before injecting.
 		dest.rxCredits.Acquire(p, 1)
-		first := c.Net.Channel(c.Rank, route[0])
-		_, end := first.ReserveRaw(p.Now(), wire)
+		_, end := c.Net.reserveHop(c.Rank, route[0], p.Now(), wire)
 		p.SleepUntil(end)
 		c.txFIFO.Get(p, int64(wire))
 		c.completePacketTX(pkt)

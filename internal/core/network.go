@@ -2,16 +2,22 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"apenetsim/internal/pcie"
 	"apenetsim/internal/sim"
 	"apenetsim/internal/torus"
+	"apenetsim/internal/trace"
 	"apenetsim/internal/units"
 )
 
 // Network is the 3D torus connecting a set of cards: six directed link
 // channels per node plus the registry used by the injectors to route
 // packets hop by hop (dimension-ordered, like the APEnet+ router).
+//
+// Every hop reservation is metered per directed link (packets, wire
+// bytes, peak backlog), so congestion on large tori can be localized:
+// LinkStats exposes the counters, HotLinks ranks the saturated links.
 type Network struct {
 	Eng  *sim.Engine
 	Dims torus.Dims
@@ -19,13 +25,52 @@ type Network struct {
 	linkBW units.Bandwidth
 	hopLat sim.Duration
 
-	cards map[int]*Card
-	links map[linkKey]*pcie.Channel
+	cards  map[int]*Card
+	links  map[linkKey]*pcie.Channel
+	meters map[linkKey]*linkMeter
 }
 
 type linkKey struct {
 	rank int
 	dir  torus.Dir
+}
+
+// linkMeter accumulates per-directed-link traffic counters.
+type linkMeter struct {
+	packets     int64
+	wireBytes   int64
+	peakBacklog sim.Duration // longest wait for the wire seen by any packet
+}
+
+// LinkStat is a snapshot of one directed torus link's counters.
+type LinkStat struct {
+	Rank  int
+	Coord torus.Coord
+	Dir   torus.Dir
+	// Packets and WireBytes count every hop reservation on the link
+	// (cut-through forwarding books intermediate hops too, so a packet
+	// crossing h links contributes to h stats).
+	Packets   int64
+	WireBytes int64
+	// Busy is the cumulative time the link carried data.
+	Busy sim.Duration
+	// PeakBacklog is the longest time any hop reservation had to wait for
+	// the wire — the link's peak queueing delay.
+	PeakBacklog sim.Duration
+	// PeakQueueBytes is the backlog expressed as bytes already booked
+	// ahead of the most-delayed packet (peak queue depth).
+	PeakQueueBytes units.ByteSize
+}
+
+// Name labels the link by source coordinate and direction, e.g. "(1,2,0)X+".
+func (s LinkStat) Name() string { return fmt.Sprintf("%v%s", s.Coord, s.Dir) }
+
+// Utilization returns the fraction of wall time the link carried data.
+func (s LinkStat) Utilization(now sim.Time) float64 {
+	if now <= 0 {
+		return 0
+	}
+	return float64(s.Busy) / float64(sim.Duration(now))
 }
 
 // NewNetwork creates an empty torus of the given dimensions. Link
@@ -42,6 +87,7 @@ func NewNetwork(eng *sim.Engine, dims torus.Dims, linkBW units.Bandwidth, hopLat
 		hopLat: hopLat,
 		cards:  make(map[int]*Card),
 		links:  make(map[linkKey]*pcie.Channel),
+		meters: make(map[linkKey]*linkMeter),
 	}
 }
 
@@ -58,7 +104,9 @@ func (n *Network) register(c *Card) {
 	n.cards[rank] = c
 	for d := torus.Dir(0); d < torus.NumDirs; d++ {
 		name := fmt.Sprintf("torus.%d.%s", rank, d)
-		n.links[linkKey{rank, d}] = pcie.NewChannel(n.Eng, name, n.linkBW)
+		key := linkKey{rank, d}
+		n.links[key] = pcie.NewChannel(n.Eng, name, n.linkBW)
+		n.meters[key] = &linkMeter{}
 	}
 }
 
@@ -68,20 +116,29 @@ func (n *Network) Card(rank int) *Card { return n.cards[rank] }
 // Cards returns the number of registered cards.
 func (n *Network) Cards() int { return len(n.cards) }
 
-// Channel returns the outgoing link channel of rank in direction dir.
-func (n *Network) Channel(rank int, dir torus.Dir) *pcie.Channel {
-	ch := n.links[linkKey{rank, dir}]
-	if ch == nil {
-		panic(fmt.Sprintf("core: no link at rank %d dir %v", rank, dir))
-	}
-	return ch
-}
-
 // HopLatency returns the per-hop forwarding latency.
 func (n *Network) HopLatency() sim.Duration { return n.hopLat }
 
 // LinkBandwidth returns the per-direction link bandwidth.
 func (n *Network) LinkBandwidth() units.Bandwidth { return n.linkBW }
+
+// reserveHop books one packet's wire time on the directed link (rank,dir)
+// and meters the traversal, returning when the burst starts and ends.
+func (n *Network) reserveHop(rank int, dir torus.Dir, from sim.Time, wire units.ByteSize) (start, end sim.Time) {
+	key := linkKey{rank, dir}
+	ch := n.links[key]
+	if ch == nil {
+		panic(fmt.Sprintf("core: no link at rank %d dir %v", rank, dir))
+	}
+	start, end = ch.ReserveRaw(from, wire)
+	m := n.meters[key]
+	m.packets++
+	m.wireBytes += int64(wire)
+	if wait := start.Sub(from); wait > m.peakBacklog {
+		m.peakBacklog = wait
+	}
+	return start, end
+}
 
 // route books a packet's wire traversal from src along hops, returning the
 // arrival time at the destination. The first hop must already have been
@@ -91,10 +148,77 @@ func (n *Network) route(srcCoord torus.Coord, hops []torus.Dir, firstHopEnd sim.
 	cur := n.Dims.Neighbor(srcCoord, hops[0])
 	arrival := firstHopEnd.Add(n.hopLat)
 	for _, dir := range hops[1:] {
-		ch := n.Channel(n.Dims.Rank(cur), dir)
-		_, end := ch.ReserveRaw(arrival, wire)
+		_, end := n.reserveHop(n.Dims.Rank(cur), dir, arrival, wire)
 		arrival = end.Add(n.hopLat)
 		cur = n.Dims.Neighbor(cur, dir)
 	}
 	return cur, arrival
+}
+
+// LinkStats snapshots every directed link that carried at least one
+// packet, ordered by (rank, dir). Loop-back traffic (destination == source
+// card) never touches torus links and is not counted.
+func (n *Network) LinkStats() []LinkStat {
+	var out []LinkStat
+	for key, m := range n.meters {
+		if m.packets == 0 {
+			continue
+		}
+		ch := n.links[key]
+		out = append(out, LinkStat{
+			Rank:           key.rank,
+			Coord:          n.Dims.CoordOf(key.rank),
+			Dir:            key.dir,
+			Packets:        m.packets,
+			WireBytes:      m.wireBytes,
+			Busy:           ch.BusyTime(),
+			PeakBacklog:    m.peakBacklog,
+			PeakQueueBytes: units.ByteSize(float64(n.linkBW) * m.peakBacklog.Seconds()),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rank != out[j].Rank {
+			return out[i].Rank < out[j].Rank
+		}
+		return out[i].Dir < out[j].Dir
+	})
+	return out
+}
+
+// HotLinks returns the k busiest links by carried wire bytes (ties broken
+// by rank/dir for determinism).
+func (n *Network) HotLinks(k int) []LinkStat {
+	stats := n.LinkStats()
+	sort.SliceStable(stats, func(i, j int) bool {
+		return stats[i].WireBytes > stats[j].WireBytes
+	})
+	if k < len(stats) {
+		stats = stats[:k]
+	}
+	return stats
+}
+
+// TotalLinkWireBytes sums the wire bytes carried by every directed link.
+// Because each hop is metered, this equals the sum over packets of their
+// wire size times the hop count of their route — the conservation law the
+// tests pin down.
+func (n *Network) TotalLinkWireBytes() int64 {
+	var total int64
+	for _, m := range n.meters {
+		total += m.wireBytes
+	}
+	return total
+}
+
+// TraceLinkStats emits one trace event per active link with its counters,
+// so congestion snapshots ride along the normal trace pipeline.
+func (n *Network) TraceLinkStats(rec *trace.Recorder) {
+	if !rec.Enabled() {
+		return
+	}
+	now := n.Eng.Now()
+	for _, s := range n.LinkStats() {
+		rec.Emit(now, "torus."+s.Name(), "link_stats", s.WireBytes,
+			fmt.Sprintf("packets=%d util=%.1f%% peak_backlog=%v", s.Packets, 100*s.Utilization(now), s.PeakBacklog))
+	}
 }

@@ -179,6 +179,9 @@ func (c *Channel) ReserveRaw(from sim.Time, n units.ByteSize) (start, end sim.Ti
 	return start, end
 }
 
+// BusyTime returns the cumulative time the channel carried data.
+func (c *Channel) BusyTime() sim.Duration { return c.busyTime }
+
 // Utilization returns the fraction of wall time the channel was busy.
 func (c *Channel) Utilization(now sim.Time) float64 {
 	if now <= 0 {

@@ -16,6 +16,8 @@ type Coord struct {
 	X, Y, Z int
 }
 
+func (c Coord) String() string { return fmt.Sprintf("(%d,%d,%d)", c.X, c.Y, c.Z) }
+
 // Dir is a link direction out of a node; the APEnet+ router has six.
 type Dir int
 
