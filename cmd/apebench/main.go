@@ -14,7 +14,9 @@
 //	apebench -list
 //	apebench -run fig7
 //	apebench -run table1,table2 -csv
+//	apebench -run 'coll-*'                 # glob and prefix patterns
 //	apebench -run coll-scaling -dims 8,8,8
+//	apebench -run fig6,fig8 -tlb           # hardware RX TLB on every card
 //	apebench -all -quick -parallel 4 -json out.json
 //	apebench -all -quick -baseline BENCH_2026-07-27.json -tolerance 1
 //	apebench -all -quick -json auto   # writes BENCH_<date>.json
@@ -72,7 +74,7 @@ func listExperiments() {
 
 func main() {
 	list := flag.Bool("list", false, "list experiment IDs (with paper exhibits) and exit; full catalog in docs/EXPERIMENTS.md")
-	run := flag.String("run", "", "comma-separated experiment IDs to run")
+	run := flag.String("run", "", "comma-separated experiment IDs, globs or prefixes to run (e.g. fig7 or coll-*)")
 	all := flag.Bool("all", false, "run every experiment")
 	quick := flag.Bool("quick", false, "reduced sweeps / problem sizes")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
@@ -82,6 +84,7 @@ func main() {
 	tolerance := flag.Float64("tolerance", 0, "per-cell relative tolerance for -baseline, in percent")
 	seed := flag.Int64("seed", 0, "base RNG seed; 0 keeps the paper-default seeds")
 	dimsFlag := flag.String("dims", "", "torus dimensions X,Y,Z for the coll-* experiments (e.g. 8,8,8)")
+	tlb := flag.Bool("tlb", false, "run every card with the hardware RX TLB (28 nm follow-up) instead of the firmware V2P walk")
 	flag.Parse()
 
 	if *list {
@@ -103,14 +106,10 @@ func main() {
 	case *all:
 		todo = bench.All()
 	case *run != "":
-		for _, id := range strings.Split(*run, ",") {
-			id = strings.TrimSpace(id)
-			e, ok := bench.Lookup(id)
-			if !ok {
-				fmt.Fprintf(os.Stderr, "apebench: unknown experiment %q (try -list)\n", id)
-				os.Exit(2)
-			}
-			todo = append(todo, e)
+		var err error
+		if todo, err = bench.Select(strings.Split(*run, ",")); err != nil {
+			fmt.Fprintf(os.Stderr, "apebench: %v\n", err)
+			os.Exit(2)
 		}
 	default:
 		flag.Usage()
@@ -119,7 +118,7 @@ func main() {
 
 	runner := bench.Runner{
 		Parallel: *parallel,
-		Opts:     bench.Options{Quick: *quick, Seed: *seed, Dims: dims},
+		Opts:     bench.Options{Quick: *quick, Seed: *seed, Dims: dims, TLB: *tlb},
 		Progress: func(r bench.Result) {
 			status := fmt.Sprintf("%.1fs, %d sim steps", r.WallSeconds, r.SimSteps)
 			if r.Err != "" {
@@ -171,9 +170,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "apebench:", err)
 			os.Exit(1)
 		}
-		if base.Quick != report.Quick || base.Seed != report.Seed || base.Dims != report.Dims {
-			fmt.Fprintf(os.Stderr, "apebench: incompatible baseline %s (quick=%v seed=%d dims=%q, this run quick=%v seed=%d dims=%q); rerun with matching flags\n",
-				*baseline, base.Quick, base.Seed, base.Dims, report.Quick, report.Seed, report.Dims)
+		if base.Quick != report.Quick || base.Seed != report.Seed || base.Dims != report.Dims || base.TLB != report.TLB {
+			fmt.Fprintf(os.Stderr, "apebench: incompatible baseline %s (quick=%v seed=%d dims=%q tlb=%v, this run quick=%v seed=%d dims=%q tlb=%v); rerun with matching flags\n",
+				*baseline, base.Quick, base.Seed, base.Dims, base.TLB, report.Quick, report.Seed, report.Dims, report.TLB)
 			os.Exit(1)
 		}
 		// Keep stdout parseable in -csv mode; the diff goes to stderr there.

@@ -8,6 +8,7 @@ import (
 	"apenetsim/internal/sim"
 	"apenetsim/internal/torus"
 	"apenetsim/internal/units"
+	"apenetsim/internal/v2p"
 )
 
 // The coll-* experiments drive application-shaped traffic — halo
@@ -100,9 +101,28 @@ func haloFaces(d torus.Dims) int {
 	return f
 }
 
+// worldTLBStats folds every card's translation counters into one
+// cluster-wide snapshot.
+func worldTLBStats(w *coll.World) v2p.Stats {
+	var agg v2p.Stats
+	for _, node := range w.Cl.Nodes {
+		agg.Add(node.Card.TranslationStats())
+	}
+	return agg
+}
+
 // CollHalo measures the 6-face halo exchange — the HSG boundary pattern —
 // across torus sizes and face sizes, with hotspot stats.
-func CollHalo(o Options) *Report {
+func CollHalo(o Options) *Report { return collHalo(o, false) }
+
+// CollHaloTLB is the halo sweep with every card on the hardware RX TLB,
+// reporting the cluster-wide hit rate alongside the hotspot stats.
+func CollHaloTLB(o Options) *Report {
+	o.TLB = true
+	return collHalo(o, true)
+}
+
+func collHalo(o Options, tlb bool) *Report {
 	dimsList := []torus.Dims{{X: 4, Y: 2, Z: 1}, {X: 4, Y: 4, Z: 2}, {X: 4, Y: 4, Z: 4}}
 	faceSizes := []units.ByteSize{64 * units.KB, 256 * units.KB}
 	iters := 3
@@ -142,19 +162,27 @@ func CollHalo(o Options) *Report {
 				f0(agg.MBpsValue()),
 			}
 			row = append(row, hotspotCells(w.Net(), eng.Now())...)
+			if tlb {
+				row = append(row, f1(100*worldTLBStats(w).HitRate()))
+			}
 			rows = append(rows, row)
 			eng.Shutdown()
 		}
 	}
-	return &Report{ID: "coll-halo",
-		Title:  "Halo exchange over the torus (GPU buffers, 6 faces per rank)",
-		Header: append([]string{"torus", "cards", "face", "time/iter", "per-rank BW", "aggregate BW"}, hotspotHeader...),
-		Units:  append([]string{"", "", "", "us", "MB/s", "MB/s"}, hotspotUnits...),
-		Rows:   rows,
-		Notes: []string{
-			"nearest-neighbor pattern: every message crosses exactly one link, so aggregate bandwidth scales with cards",
-			"per-rank BW is capped by the card's GPU RX path, not the wire (cf. table1)",
-		}}
+	id, title := "coll-halo", "Halo exchange over the torus (GPU buffers, 6 faces per rank)"
+	header := append([]string{"torus", "cards", "face", "time/iter", "per-rank BW", "aggregate BW"}, hotspotHeader...)
+	unitsRow := append([]string{"", "", "", "us", "MB/s", "MB/s"}, hotspotUnits...)
+	notes := []string{
+		"nearest-neighbor pattern: every message crosses exactly one link, so aggregate bandwidth scales with cards",
+		"per-rank BW is capped by the card's GPU RX path, not the wire (cf. table1)",
+	}
+	if tlb {
+		id, title = "coll-halo-tlb", "Halo exchange over the torus (GPU buffers, hardware RX TLB)"
+		header = append(header, "TLB hit rate")
+		unitsRow = append(unitsRow, "%")
+		notes = append(notes, "all cards translate through the 28 nm follow-up's TLB; hit rate is cluster-wide")
+	}
+	return &Report{ID: id, Title: title, Header: header, Units: unitsRow, Rows: rows, Notes: notes}
 }
 
 // CollAllReduce compares the two allreduce algorithms on the same torus:
@@ -288,7 +316,16 @@ var collLadder = []torus.Dims{
 // dimension-ordered allreduce per size and reporting achieved bandwidth
 // plus where the torus saturates. -dims X,Y,Z extends the ladder up to
 // (and including) that size; the default stops at 4x4x4 (64 cards).
-func CollScaling(o Options) *Report {
+func CollScaling(o Options) *Report { return collScaling(o, false) }
+
+// CollScalingTLB is the torus-size ladder with every card on the
+// hardware RX TLB — the follow-up architecture at collective scale.
+func CollScalingTLB(o Options) *Report {
+	o.TLB = true
+	return collScaling(o, true)
+}
+
+func collScaling(o Options, tlb bool) *Report {
 	var dimsList []torus.Dims
 	switch {
 	case o.Dims.Valid():
@@ -340,18 +377,26 @@ func CollScaling(o Options) *Report {
 			f1(reduceT.Micros()), f0(units.Rate(reduceBytes, reduceT).MBpsValue()),
 		}
 		row = append(row, hotspotCells(w.Net(), eng.Now())...)
+		if tlb {
+			row = append(row, f1(100*worldTLBStats(w).HitRate()))
+		}
 		rows = append(rows, row)
 		eng.Shutdown()
 	}
-	rep := &Report{ID: "coll-scaling",
-		Title:  "Collective scaling with torus size (GPU buffers)",
-		Header: append([]string{"torus", "cards", "halo/iter", "halo agg BW", "allreduce", "allreduce rate"}, hotspotHeader...),
-		Units:  append([]string{"", "", "us", "MB/s", "us", "MB/s"}, hotspotUnits...),
-		Rows:   rows,
-		Notes: []string{
-			fmt.Sprintf("halo: %v per face; allreduce: %v vector, dimension-ordered rings", faceBytes, reduceBytes),
-			"halo aggregate bandwidth scales ~linearly with cards (nearest-neighbor); allreduce time grows with ring lengths",
-		}}
+	id, title := "coll-scaling", "Collective scaling with torus size (GPU buffers)"
+	header := append([]string{"torus", "cards", "halo/iter", "halo agg BW", "allreduce", "allreduce rate"}, hotspotHeader...)
+	unitsRow := append([]string{"", "", "us", "MB/s", "us", "MB/s"}, hotspotUnits...)
+	notes := []string{
+		fmt.Sprintf("halo: %v per face; allreduce: %v vector, dimension-ordered rings", faceBytes, reduceBytes),
+		"halo aggregate bandwidth scales ~linearly with cards (nearest-neighbor); allreduce time grows with ring lengths",
+	}
+	if tlb {
+		id, title = "coll-scaling-tlb", "Collective scaling with torus size (GPU buffers, hardware RX TLB)"
+		header = append(header, "TLB hit rate")
+		unitsRow = append(unitsRow, "%")
+		notes = append(notes, "all cards translate through the 28 nm follow-up's TLB; hit rate is cluster-wide")
+	}
+	rep := &Report{ID: id, Title: title, Header: header, Units: unitsRow, Rows: rows, Notes: notes}
 	rep.SetMeta("face_bytes", faceBytes.String())
 	rep.SetMeta("reduce_bytes", reduceBytes.String())
 	return rep

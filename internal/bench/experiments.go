@@ -16,6 +16,7 @@ import (
 	"apenetsim/internal/torus"
 	"apenetsim/internal/trace"
 	"apenetsim/internal/units"
+	"apenetsim/internal/v2p"
 )
 
 // Options tune experiment cost and carry the runner's per-experiment
@@ -31,6 +32,12 @@ type Options struct {
 	// that sweep cluster size (the coll-* family); the zero value keeps
 	// each experiment's defaults. Set from apebench's -dims flag.
 	Dims torus.Dims
+	// TLB switches every card built by the experiments to the hardware
+	// RX TLB (the 28 nm follow-up's translation path) instead of the
+	// firmware V2P walk. Set from apebench's -tlb flag and recorded in
+	// the run JSON; experiments that compare both paths explicitly
+	// (rx-tlb, rx-translation-ablation) ignore it.
+	TLB bool
 	// Account, when non-nil, aggregates engine and executed-event counts
 	// from every simulation the experiment builds.
 	Account *sim.Account
@@ -49,6 +56,9 @@ func (o Options) SeedOr(def int64) int64 {
 func (o Options) config() core.Config {
 	cfg := core.DefaultConfig()
 	cfg.Account = o.Account
+	if o.TLB {
+		cfg.Translation = v2p.Config{Mode: v2p.ModeTLB}
+	}
 	return cfg
 }
 
@@ -87,10 +97,14 @@ func All() []Experiment {
 		{"abl-link", "Ablation: two-node bandwidth vs torus link speed", "ablation", AblLink},
 		{"abl-bar1tx", "Ablation: Kepler TX method (P2P vs BAR1)", "ablation", AblKeplerTX},
 		{"abl-window", "Ablation: prefetch window beyond the paper's range", "ablation", AblWindow},
+		{"rx-tlb", "RX translation: firmware V2P walk vs hardware TLB geometries", "28nm follow-up", RXTLB},
+		{"rx-translation-ablation", "RX ceiling vs registered buffers: firmware walk vs TLB", "28nm follow-up", RXTranslationAblation},
 		{"coll-halo", "Halo exchange bandwidth across torus sizes", "collective", CollHalo},
 		{"coll-allreduce", "Allreduce: ring vs dimension-order algorithms", "collective", CollAllReduce},
 		{"coll-a2a", "All-to-all bandwidth and torus hotspots", "collective", CollAllToAll},
 		{"coll-scaling", "Collective scaling up to 8x8x8 (512 cards)", "collective", CollScaling},
+		{"coll-halo-tlb", "Halo exchange with the hardware RX TLB", "28nm follow-up", CollHaloTLB},
+		{"coll-scaling-tlb", "Collective scaling with the hardware RX TLB", "28nm follow-up", CollScalingTLB},
 	}
 }
 

@@ -33,6 +33,7 @@ import (
 	"apenetsim/internal/sim"
 	"apenetsim/internal/torus"
 	"apenetsim/internal/units"
+	"apenetsim/internal/v2p"
 )
 
 func must(err error) {
@@ -138,6 +139,30 @@ func LoopbackBW(cfg core.Config, spec gpu.Spec, srcKind, dstKind core.MemKind, m
 // for any source/destination buffer kind combination (Fig 6, and the
 // P2P=ON curve of Fig 7).
 func TwoNodeBW(cfg core.Config, srcKind, dstKind core.MemKind, msg units.ByteSize) units.Bandwidth {
+	return TwoNodeRXProfile(cfg, srcKind, dstKind, msg, 0).BW
+}
+
+// RXProfile is the receiver-side profile of a two-node stream: the
+// achieved bandwidth (the RX ceiling at large messages) plus where the
+// receive path spent its time — the address-translation counters and the
+// receiver Nios II's RX share. It is how the rx-tlb experiments compare
+// the firmware V2P walk against the hardware TLB.
+type RXProfile struct {
+	BW units.Bandwidth
+	// Translation is the receiver card's translator counters.
+	Translation v2p.Stats
+	// NiosRXBusy is the receiver Nios II time spent in the RX task;
+	// NiosRXUtil is that time over the run's span.
+	NiosRXBusy sim.Duration
+	NiosRXUtil float64
+	Elapsed    sim.Duration
+}
+
+// TwoNodeRXProfile runs the TwoNodeBW pattern and captures the receiver
+// profile. padBuffers extra 4 KB host buffers are registered before the
+// destination so its BUF_LIST scan position — and therefore the firmware
+// walk cost — grows (the abl-buflist pattern, here at full bandwidth).
+func TwoNodeRXProfile(cfg core.Config, srcKind, dstKind core.MemKind, msg units.ByteSize, padBuffers int) RXProfile {
 	eng := sim.NewWithAccount(cfg.Account)
 	defer eng.Shutdown()
 	cl, err := cluster.TwoNodes(eng, nil, cfg, 0)
@@ -151,8 +176,12 @@ func TwoNodeBW(cfg core.Config, srcKind, dstKind core.MemKind, msg units.ByteSiz
 	ready := sim.NewSignal(eng)
 	var dst *rdma.Buffer
 	var ackTo uint64
-	var bw units.Bandwidth
+	var prof RXProfile
 	eng.Go("recv", func(p *sim.Proc) {
+		for i := 0; i < padBuffers; i++ {
+			_, err := epR.NewHostBuffer(p, 4096)
+			must(err)
+		}
 		dst = newBuffer(p, epR, recver.GPU(0), dstKind, msg)
 		ackBuf, err := epR.NewHostBuffer(p, 64)
 		must(err)
@@ -180,10 +209,15 @@ func TwoNodeBW(cfg core.Config, srcKind, dstKind core.MemKind, msg units.ByteSiz
 			must(err)
 		}
 		epS.WaitRecv(p) // ack: all n+warm delivered
-		bw = units.Rate(units.ByteSize(n+warm)*msg, p.Now().Sub(start))
+		prof.BW = units.Rate(units.ByteSize(n+warm)*msg, p.Now().Sub(start))
 	})
 	eng.Run()
-	return bw
+	now := eng.Now()
+	prof.Translation = recver.Card.TranslationStats()
+	prof.NiosRXBusy = recver.Card.Nios.BusyTime("RX")
+	prof.NiosRXUtil = recver.Card.Nios.TaskUtilization("RX", now)
+	prof.Elapsed = sim.Duration(now)
+	return prof
 }
 
 // TwoNodeLatency measures half round-trip time with a ping-pong (Figs 8-9).

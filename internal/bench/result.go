@@ -42,7 +42,11 @@ type Run struct {
 	// Dims records a -dims torus override ("8x8x8"); empty when the
 	// experiments ran with their default dimensions. Additive field:
 	// older schema-1 readers ignore it.
-	Dims    string   `json:"dims,omitempty"`
+	Dims string `json:"dims,omitempty"`
+	// TLB records a -tlb override: every card ran with the hardware RX
+	// TLB instead of the firmware V2P walk. Additive field: older
+	// schema-1 readers ignore it.
+	TLB     bool     `json:"tlb,omitempty"`
 	Results []Result `json:"results"`
 }
 

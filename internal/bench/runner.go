@@ -51,6 +51,7 @@ func (r *Runner) Run(exps []Experiment) *Run {
 		Quick:         r.Opts.Quick,
 		Parallel:      workers,
 		Seed:          r.Opts.Seed,
+		TLB:           r.Opts.TLB,
 		Results:       make([]Result, len(exps)),
 	}
 	if r.Opts.Dims.Valid() {

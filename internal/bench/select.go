@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"fmt"
+	"path"
+	"strings"
+)
+
+// Select resolves -run patterns into experiments, in registry order per
+// pattern, deduplicated across patterns. A pattern is either an exact
+// experiment ID, a glob (path.Match syntax: `coll-*`, `fig?`), or a bare
+// prefix of one or more IDs (`coll-`). Unknown IDs fail with a near-miss
+// suggestion instead of silently selecting nothing; globs and prefixes
+// that match nothing fail too.
+func Select(patterns []string) ([]Experiment, error) {
+	all := All()
+	var out []Experiment
+	seen := map[string]bool{}
+	add := func(e Experiment) {
+		if !seen[e.ID] {
+			seen[e.ID] = true
+			out = append(out, e)
+		}
+	}
+	for _, pat := range patterns {
+		pat = strings.TrimSpace(pat)
+		if pat == "" {
+			continue
+		}
+		if strings.ContainsAny(pat, "*?[") {
+			matched := false
+			for _, e := range all {
+				ok, err := path.Match(pat, e.ID)
+				if err != nil {
+					return nil, fmt.Errorf("bad pattern %q: %v", pat, err)
+				}
+				if ok {
+					add(e)
+					matched = true
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("pattern %q matches no experiment (try -list)", pat)
+			}
+			continue
+		}
+		if e, ok := Lookup(pat); ok {
+			add(e)
+			continue
+		}
+		matched := false
+		for _, e := range all {
+			if strings.HasPrefix(e.ID, pat) {
+				add(e)
+				matched = true
+			}
+		}
+		if !matched {
+			if near := nearestID(pat, all); near != "" {
+				return nil, fmt.Errorf("unknown experiment %q (did you mean %q? try -list)", pat, near)
+			}
+			return nil, fmt.Errorf("unknown experiment %q (try -list)", pat)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no experiments selected")
+	}
+	return out, nil
+}
+
+// nearestID returns the registry ID closest to pat by edit distance, or
+// "" when nothing is plausibly close (distance > half the pattern).
+func nearestID(pat string, all []Experiment) string {
+	best, bestDist := "", len(pat)/2+1
+	for _, e := range all {
+		if d := editDistance(pat, e.ID); d < bestDist {
+			best, bestDist = e.ID, d
+		}
+	}
+	return best
+}
+
+// editDistance is the Levenshtein distance between a and b.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func ids(exps []Experiment) []string {
+	var out []string
+	for _, e := range exps {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+func TestSelectExactAndOrder(t *testing.T) {
+	got, err := Select([]string{"table1", "fig3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := ids(got); len(s) != 2 || s[0] != "table1" || s[1] != "fig3" {
+		t.Fatalf("exact selection = %v", s)
+	}
+}
+
+func TestSelectGlob(t *testing.T) {
+	got, err := Select([]string{"coll-*"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ids(got)
+	if len(s) < 4 {
+		t.Fatalf("coll-* matched too few: %v", s)
+	}
+	// Registry order, all coll- prefixed.
+	var want []string
+	for _, e := range All() {
+		if strings.HasPrefix(e.ID, "coll-") {
+			want = append(want, e.ID)
+		}
+	}
+	if strings.Join(s, ",") != strings.Join(want, ",") {
+		t.Fatalf("glob selection %v, want registry order %v", s, want)
+	}
+}
+
+func TestSelectPrefix(t *testing.T) {
+	got, err := Select([]string{"rx-"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ids(got)
+	if len(s) != 2 || s[0] != "rx-tlb" || s[1] != "rx-translation-ablation" {
+		t.Fatalf("prefix selection = %v", s)
+	}
+}
+
+func TestSelectDedupAcrossPatterns(t *testing.T) {
+	got, err := Select([]string{"coll-halo", "coll-*"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for _, id := range ids(got) {
+		seen[id]++
+		if seen[id] > 1 {
+			t.Fatalf("duplicate %q in %v", id, ids(got))
+		}
+	}
+	if ids(got)[0] != "coll-halo" {
+		t.Fatalf("first pattern should lead: %v", ids(got))
+	}
+}
+
+func TestSelectUnknownSuggestsNearMiss(t *testing.T) {
+	_, err := Select([]string{"tabel1"})
+	if err == nil || !strings.Contains(err.Error(), `"table1"`) {
+		t.Fatalf("want table1 suggestion, got %v", err)
+	}
+	_, err = Select([]string{"zzzzzz"})
+	if err == nil || strings.Contains(err.Error(), "did you mean") {
+		t.Fatalf("distant typo should not suggest: %v", err)
+	}
+	if _, err := Select([]string{"nope-*"}); err == nil {
+		t.Fatal("empty glob accepted")
+	}
+	if _, err := Select([]string{""}); err == nil {
+		t.Fatal("empty selection accepted")
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		d    int
+	}{
+		{"", "", 0}, {"abc", "abc", 0}, {"abc", "abd", 1},
+		{"table1", "tabel1", 2}, {"fig3", "fig12", 2}, {"", "abc", 3},
+	}
+	for _, c := range cases {
+		if got := editDistance(c.a, c.b); got != c.d {
+			t.Errorf("editDistance(%q,%q) = %d, want %d", c.a, c.b, got, c.d)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"testing"
+
+	"apenetsim/internal/core"
+	"apenetsim/internal/units"
+	"apenetsim/internal/v2p"
+)
+
+// The 28 nm follow-up's direction: the hardware TLB lifts the RX
+// bandwidth ceiling and idles the Nios II relative to the firmware walk.
+func TestCalTLBRaisesRXCeiling(t *testing.T) {
+	fw := TwoNodeRXProfile(core.DefaultConfig(), core.HostMem, core.HostMem, 1*units.MB, 0)
+	cfg := core.DefaultConfig()
+	cfg.Translation = v2p.Config{Mode: v2p.ModeTLB}
+	tlb := TwoNodeRXProfile(cfg, core.HostMem, core.HostMem, 1*units.MB, 0)
+
+	within(t, "firmware H-H RX ceiling MB/s", fw.BW.MBpsValue(), 1080, 1320)
+	// The ceiling moves to the host read DMA (~2.4 GB/s).
+	within(t, "TLB H-H RX ceiling MB/s", tlb.BW.MBpsValue(), 2100, 2700)
+	if tlb.NiosRXUtil >= fw.NiosRXUtil/4 {
+		t.Errorf("TLB Nios RX share %.2f should be far below firmware %.2f",
+			tlb.NiosRXUtil, fw.NiosRXUtil)
+	}
+	if hr := tlb.Translation.HitRate(); hr < 0.99 {
+		t.Errorf("TLB hit rate %.3f, want >= 0.99 (streaming into one buffer)", hr)
+	}
+	if fw.Translation.Hits != 0 || fw.Translation.Lookups == 0 {
+		t.Errorf("firmware translation stats: %+v", fw.Translation)
+	}
+}
+
+// TLB-profiled runs must not disturb the untouched default path: the
+// profile's BW equals TwoNodeBW's.
+func TestRXProfileMatchesTwoNodeBW(t *testing.T) {
+	cfg := core.DefaultConfig()
+	if bw, prof := TwoNodeBW(cfg, core.HostMem, core.HostMem, 256*units.KB),
+		TwoNodeRXProfile(cfg, core.HostMem, core.HostMem, 256*units.KB, 0); bw != prof.BW {
+		t.Fatalf("TwoNodeBW %v != profile BW %v", bw, prof.BW)
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"apenetsim/internal/units"
+)
+
+// linearLookup is the seed's O(n) reference semantics: first registered
+// entry containing the range wins; scanned is its position + 1, or the
+// list length on a miss.
+func linearLookup(entries []*BufEntry, addr uint64, n units.ByteSize) (*BufEntry, int, bool) {
+	for i, e := range entries {
+		if e.Contains(addr, n) {
+			return e, i + 1, true
+		}
+	}
+	return nil, len(entries), false
+}
+
+// TestBufListMatchesLinearScan drives the sorted-interval index through
+// random register/unregister churn — including overlapping and nested
+// buffers — and checks every lookup against the linear reference.
+func TestBufListMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	bl := &BufList{}
+	var ref []*BufEntry
+
+	randEntry := func() *BufEntry {
+		return &BufEntry{
+			Addr: uint64(rng.Intn(1 << 16)),
+			Size: units.ByteSize(1 + rng.Intn(1<<12)),
+			Kind: HostMem,
+		}
+	}
+	for step := 0; step < 4000; step++ {
+		switch {
+		case len(ref) == 0 || rng.Intn(10) < 4:
+			e := randEntry()
+			bl.Register(e)
+			ref = append(ref, e)
+		case rng.Intn(10) < 2:
+			i := rng.Intn(len(ref))
+			if !bl.Unregister(ref[i]) {
+				t.Fatalf("step %d: unregister of live entry failed", step)
+			}
+			ref = append(ref[:i], ref[i+1:]...)
+		default:
+			var addr uint64
+			var n units.ByteSize
+			if rng.Intn(3) == 0 || len(ref) == 0 {
+				addr, n = uint64(rng.Intn(1<<17)), units.ByteSize(1+rng.Intn(1<<12))
+			} else {
+				// Probe inside a live entry so hits actually happen.
+				e := ref[rng.Intn(len(ref))]
+				off := uint64(rng.Intn(int(e.Size)))
+				addr = e.Addr + off
+				n = units.ByteSize(1 + rng.Intn(int(e.Size)-int(off)))
+			}
+			gotE, gotS, gotOK := bl.Lookup(addr, n)
+			wantE, wantS, wantOK := linearLookup(ref, addr, n)
+			if gotE != wantE || gotS != wantS || gotOK != wantOK {
+				t.Fatalf("step %d: Lookup(%#x,%v) = (%v,%d,%v), linear scan says (%v,%d,%v)",
+					step, addr, n, gotE, gotS, gotOK, wantE, wantS, wantOK)
+			}
+		}
+		if bl.Len() != len(ref) {
+			t.Fatalf("step %d: Len %d != %d", step, bl.Len(), len(ref))
+		}
+	}
+}
+
+func TestBufListOverlapPrefersFirstRegistered(t *testing.T) {
+	bl := &BufList{}
+	outer := &BufEntry{Addr: 0x1000, Size: 0x4000, Kind: HostMem}
+	inner := &BufEntry{Addr: 0x2000, Size: 0x1000, Kind: HostMem}
+	bl.Register(outer)
+	bl.Register(inner)
+	if e, scanned, ok := bl.Lookup(0x2100, 16); !ok || e != outer || scanned != 1 {
+		t.Fatalf("overlap lookup = (%v,%d,%v), want outer first", e, scanned, ok)
+	}
+	bl.Unregister(outer)
+	if e, scanned, ok := bl.Lookup(0x2100, 16); !ok || e != inner || scanned != 1 {
+		t.Fatalf("after unregister = (%v,%d,%v), want inner at scan position 1", e, scanned, ok)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"apenetsim/internal/torus"
 	"apenetsim/internal/trace"
 	"apenetsim/internal/units"
+	"apenetsim/internal/v2p"
 )
 
 // Card is one APEnet+ board: PCIe endpoint, DNP (torus links + router +
@@ -53,7 +54,15 @@ type Card struct {
 	// engine returns it after processing.
 	rxCredits *sim.Semaphore
 
+	// xlat resolves RX address translations (firmware walk or hardware
+	// TLB) and accounts their cost; one instance per card.
+	xlat v2p.Translator
+
 	rxProgress map[uint64]units.ByteSize
+	// rxDropped tracks bytes dropped per in-flight RX job so partially
+	// delivered messages can be drained instead of stranding their
+	// rxProgress entries forever.
+	rxDropped map[uint64]units.ByteSize
 
 	nextJobID uint64
 	stats     CardStats
@@ -68,6 +77,12 @@ type CardStats struct {
 	RXPackets     int64
 	RXBytes       int64
 	RXDrops       int64
+	// RXDroppedBytes is the payload volume the RX firmware discarded.
+	RXDroppedBytes int64
+	// IncompleteRXJobs counts messages whose last byte arrived but that
+	// can never complete because some packets were dropped; their
+	// progress state has been drained and no RecvDone was raised.
+	IncompleteRXJobs int64
 }
 
 // NewCard creates a card on a node's PCIe fabric and registers it in the
@@ -105,7 +120,14 @@ func NewCard(eng *sim.Engine, cfg Config, rec *trace.Recorder, name string,
 		switchCh: pcie.NewChannel(eng, name+".switch", cfg.SwitchBandwidth),
 		loopCh:   pcie.NewChannel(eng, name+".loop", cfg.LinkBandwidth),
 
+		xlat: cfg.Translation.New(v2p.Costs{
+			BufListBase: cfg.RXBufListBase,
+			PerBuffer:   cfg.RXPerBuffer,
+			Walk:        cfg.RXV2PWalk,
+		}),
+
 		rxProgress: make(map[uint64]units.ByteSize),
+		rxDropped:  make(map[uint64]units.ByteSize),
 	}
 	credits := cfg.RXQueuePackets
 	if credits <= 0 {
@@ -131,6 +153,25 @@ func (c *Card) Start() {
 
 // Stats returns a snapshot of activity counters.
 func (c *Card) Stats() CardStats { return c.stats }
+
+// Translator returns the card's RX address-translation engine.
+func (c *Card) Translator() v2p.Translator { return c.xlat }
+
+// TranslationStats snapshots the RX translator's hit/miss/fill counters.
+func (c *Card) TranslationStats() v2p.Stats { return c.xlat.Stats() }
+
+// PendingRXJobs returns the number of in-flight receive jobs — jobs with
+// delivered or dropped bytes whose last byte has not yet arrived.
+// Drained jobs (completed or retired as incomplete) are not counted.
+func (c *Card) PendingRXJobs() int {
+	n := len(c.rxProgress)
+	for id := range c.rxDropped {
+		if _, also := c.rxProgress[id]; !also {
+			n++
+		}
+	}
+	return n
+}
 
 // RegisterBuffer pins and registers a buffer with the card, paying the
 // driver/firmware cost; the entry becomes visible to the RX path

@@ -16,6 +16,7 @@ import (
 
 	"apenetsim/internal/sim"
 	"apenetsim/internal/units"
+	"apenetsim/internal/v2p"
 )
 
 // TXMethod selects how the card reads GPU memory.
@@ -72,6 +73,12 @@ type Config struct {
 	// Host-memory read DMA engine (TX of host buffers).
 	HostReadOutstanding int
 	HostReadChunk       units.ByteSize
+
+	// Translation selects the RX address-translation engine each card
+	// builds (see internal/v2p): the zero value keeps the paper's
+	// firmware V2P walk; v2p.ModeTLB enables the 28 nm follow-up's
+	// hardware TLB, whose hits bypass the Nios II.
+	Translation v2p.Config
 
 	// RXQueuePackets is the receive buffering per card; torus link-level
 	// flow control stalls senders when a receiver runs out of credits,
@@ -164,5 +171,5 @@ func (c *Config) Validate() error {
 	case c.HostReadOutstanding <= 0 || c.HostReadChunk <= 0:
 		return fmt.Errorf("core: bad host read DMA parameters")
 	}
-	return nil
+	return c.Translation.Validate()
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"apenetsim/internal/gpu"
 	"apenetsim/internal/sim"
 	"apenetsim/internal/units"
@@ -75,6 +77,8 @@ type BufEntry struct {
 	Size units.ByteSize
 	Kind MemKind
 	GPU  *gpu.Device // for GPUMem entries
+
+	reg int // position in registration order, maintained by BufList
 }
 
 // Contains reports whether [addr, addr+n) falls inside the buffer.
@@ -82,39 +86,98 @@ func (e *BufEntry) Contains(addr uint64, n units.ByteSize) bool {
 	return addr >= e.Addr && addr+uint64(n) <= e.Addr+uint64(e.Size)
 }
 
-// BufList models the card's registered-buffer table. Lookup is a linear
-// scan — the paper calls out that RX processing time "linearly scales
-// with the number of registered buffers", and the returned scan count
-// feeds the firmware cost model.
+// end returns the exclusive upper bound of the buffer's range.
+func (e *BufEntry) end() uint64 { return e.Addr + uint64(e.Size) }
+
+// BufList models the card's registered-buffer table. The firmware scans
+// it linearly — the paper calls out that RX processing time "linearly
+// scales with the number of registered buffers" — so Lookup still reports
+// how many entries that scan would examine, which feeds the firmware cost
+// model. The *host-side* search, however, runs on a sorted interval index
+// (an address-ordered slice with prefix-max range ends): for
+// non-overlapping registrations — what the RDMA allocator produces — a
+// lookup is O(log n) instead of O(n), so simulating clusters with
+// thousands of registered buffers stays cheap. Overlapping entries only
+// widen the scan to the overlapping run.
 type BufList struct {
-	entries []*BufEntry
+	entries []*BufEntry // registration order; e.reg is the position here
+	byAddr  []*BufEntry // sorted by (Addr, registration order)
+	maxEnd  []uint64    // maxEnd[i] = max end over byAddr[:i+1]
 }
 
-// Register appends an entry and returns its index.
+// Register adds an entry and returns its registration index.
 func (b *BufList) Register(e *BufEntry) int {
+	e.reg = len(b.entries)
 	b.entries = append(b.entries, e)
-	return len(b.entries) - 1
+	i := sort.Search(len(b.byAddr), func(j int) bool {
+		a := b.byAddr[j]
+		return a.Addr > e.Addr || (a.Addr == e.Addr && a.reg > e.reg)
+	})
+	b.byAddr = append(b.byAddr, nil)
+	copy(b.byAddr[i+1:], b.byAddr[i:])
+	b.byAddr[i] = e
+	b.maxEnd = append(b.maxEnd, 0)
+	b.rebuildMaxEnd(i)
+	return e.reg
 }
 
 // Unregister removes an entry (by identity).
 func (b *BufList) Unregister(e *BufEntry) bool {
+	idx := -1
 	for i, x := range b.entries {
 		if x == e {
-			b.entries = append(b.entries[:i], b.entries[i+1:]...)
-			return true
+			idx = i
+			break
 		}
 	}
-	return false
+	if idx < 0 {
+		return false
+	}
+	b.entries = append(b.entries[:idx], b.entries[idx+1:]...)
+	for _, x := range b.entries[idx:] {
+		x.reg--
+	}
+	for i, x := range b.byAddr {
+		if x == e {
+			b.byAddr = append(b.byAddr[:i], b.byAddr[i+1:]...)
+			b.maxEnd = b.maxEnd[:len(b.byAddr)]
+			b.rebuildMaxEnd(i)
+			break
+		}
+	}
+	return true
 }
 
-// Lookup scans for the buffer containing [addr, addr+n). It returns the
-// entry, the number of entries scanned (for the firmware cost model), and
-// whether the lookup succeeded.
-func (b *BufList) Lookup(addr uint64, n units.ByteSize) (*BufEntry, int, bool) {
-	for i, e := range b.entries {
-		if e.Contains(addr, n) {
-			return e, i + 1, true
+// rebuildMaxEnd recomputes the prefix maxima from position i onward.
+func (b *BufList) rebuildMaxEnd(i int) {
+	for ; i < len(b.byAddr); i++ {
+		end := b.byAddr[i].end()
+		if i > 0 && b.maxEnd[i-1] > end {
+			end = b.maxEnd[i-1]
 		}
+		b.maxEnd[i] = end
+	}
+}
+
+// Lookup finds the buffer containing [addr, addr+n). It returns the
+// entry, the number of entries the firmware's linear scan would examine
+// (for the cost model: the match's registration position + 1, or the full
+// list length on a miss), and whether the lookup succeeded. When several
+// entries contain the range, the earliest registered wins — exactly what
+// the linear scan returned.
+func (b *BufList) Lookup(addr uint64, n units.ByteSize) (*BufEntry, int, bool) {
+	idx := sort.Search(len(b.byAddr), func(i int) bool { return b.byAddr[i].Addr > addr })
+	var found *BufEntry
+	for i := idx - 1; i >= 0; i-- {
+		if b.maxEnd[i] <= addr {
+			break // nothing at or left of i can reach addr
+		}
+		if e := b.byAddr[i]; e.Contains(addr, n) && (found == nil || e.reg < found.reg) {
+			found = e
+		}
+	}
+	if found != nil {
+		return found, found.reg + 1, true
 	}
 	return nil, len(b.entries), false
 }

@@ -1,76 +1,144 @@
 package core
 
 import (
+	"fmt"
+
 	"apenetsim/internal/sim"
 )
 
-// runRX is the receive engine: for every packet the Nios II firmware
-// validates the destination buffer (BUF_LIST linear scan), walks the V2P
-// table, and programs the RX DMA; the payload is then posted-written to
-// host or GPU memory. GPU destinations pay the sliding-window switch cost
-// the paper blames for the ~10% G-G receive penalty.
+// The receive engine is an explicit four-stage pipeline, run per packet:
 //
-// The ≈3 µs/packet firmware time — and therefore the card's ≈1.2 GB/s RX
-// ceiling — emerges from the configured BUF_LIST/V2P costs and the Nios II
-// serialization against concurrent TX firmware work.
+//	validate  — BUF_LIST search for the destination buffer (host-side
+//	            sorted-interval lookup; reports the entry count the
+//	            firmware's linear scan would examine for the cost model)
+//	translate — V2P resolution through the card's v2p.Translator: the
+//	            firmware walk serializes on the Nios II, a hardware TLB
+//	            hit costs only the fixed-function probe
+//	DMA       — RX DMA programming and the posted PCIe write toward host
+//	            or GPU memory (GPU destinations pay the sliding-window
+//	            switch cost behind the paper's ~10% G-G receive penalty)
+//	deliver   — per-job progress accounting and the RecvDone completion
+//	            once every byte has landed; jobs that lost packets to
+//	            drops are drained as incomplete instead of lingering
+//
+// With the default FirmwareWalk translator the ≈3 µs/packet firmware time
+// — and therefore the card's ≈1.2 GB/s RX ceiling — emerges from the
+// configured BUF_LIST/V2P costs and the Nios II serialization against
+// concurrent TX firmware work, exactly as in the paper. With the
+// HardwareTLB translator (the 28 nm follow-up) hits skip the Nios II and
+// the ceiling moves to the DMA path, reproducing the follow-up's RX gain.
 func (c *Card) runRX(p *sim.Proc) {
 	for {
 		pkt := c.rxQ.Get(p)
-		job := pkt.Job
 		c.rxCredits.Release(1) // packet leaves the link-level buffer
 
-		entry, scanned, ok := c.BufList.Lookup(job.DstAddr, job.Bytes)
-		cost := c.Cfg.RXBufListBase +
-			sim.Duration(scanned)*c.Cfg.RXPerBuffer +
-			c.Cfg.RXV2PWalk
-		c.Nios.Exec(p, "RX", cost)
-
+		entry, scanned, ok := c.rxValidate(pkt)
+		c.rxTranslate(p, pkt, scanned, ok)
 		if !ok {
-			// Unregistered destination: the firmware drops the packet.
-			c.stats.RXDrops++
-			if c.Rec.Enabled() {
-				c.Rec.Emit(p.Now(), c.Name+".rx", "drop", int64(pkt.Bytes), "no BUF_LIST match")
-			}
+			c.rxDrop(p, pkt)
 			continue
 		}
-
-		p.Sleep(c.Cfg.RXDMASetup)
-
-		target := c.HostMem
-		if entry.Kind == GPUMem {
-			p.Sleep(entry.GPU.P2PWriteCost(pkt.Bytes))
-			target = entry.GPU.PCI
-		}
-		_, arrival := c.Fab.Path(c.PCI, target).Send(p.Now(), pkt.Bytes)
-
-		c.stats.RXPackets++
-		c.stats.RXBytes += int64(pkt.Bytes)
-
-		c.rxProgress[job.ID] += pkt.Bytes
-		if c.rxProgress[job.ID] >= job.Bytes {
-			delete(c.rxProgress, job.ID)
-			// Firmware raises the completion event for the message; it is
-			// delivered when both the firmware work and the payload's DMA
-			// write have finished.
-			c.Nios.Exec(p, "RX", c.Cfg.RXCompletion)
-			if now := c.Eng.Now(); arrival < now {
-				arrival = now
-			}
-			comp := Completion{
-				Kind:    RecvDone,
-				JobID:   job.ID,
-				SrcRank: job.srcRank,
-				DstRank: c.Rank,
-				DstAddr: job.DstAddr,
-				Bytes:   job.Bytes,
-				Payload: job.Payload,
-			}
-			c.Eng.At(arrival, func() {
-				comp.At = c.Eng.Now()
-				c.RecvCQ.TryPut(comp)
-			})
-		}
+		arrival := c.rxProgramDMA(p, pkt, entry)
+		c.rxDeliver(p, pkt, arrival)
 	}
+}
+
+// rxValidate searches the BUF_LIST for the packet's destination buffer.
+// The whole message range must be registered; scanned is the number of
+// entries the firmware's linear scan would have examined.
+func (c *Card) rxValidate(pkt *Packet) (entry *BufEntry, scanned int, ok bool) {
+	return c.BufList.Lookup(pkt.Job.DstAddr, pkt.Job.Bytes)
+}
+
+// rxTranslate resolves the packet's V2P translation, charging the
+// translator-determined costs: fixed-function (TLB probe) time sleeps the
+// RX pipeline, firmware time serializes on the Nios II.
+func (c *Card) rxTranslate(p *sim.Proc, pkt *Packet, scanned int, registered bool) {
+	addr := pkt.Job.DstAddr + uint64(pkt.Seq)*uint64(c.Cfg.MaxPayload)
+	out := c.xlat.Translate(addr, scanned, registered)
+	if out.Hardware > 0 {
+		p.Sleep(out.Hardware)
+	}
+	c.Nios.Exec(p, "RX", out.Firmware)
+}
+
+// rxDrop discards a packet with no registered destination and retires the
+// job once its last byte has arrived (a dropped message never completes,
+// so its progress state must not linger).
+func (c *Card) rxDrop(p *sim.Proc, pkt *Packet) {
+	c.stats.RXDrops++
+	c.stats.RXDroppedBytes += int64(pkt.Bytes)
+	c.rxDropped[pkt.Job.ID] += pkt.Bytes
+	if c.Rec.Enabled() {
+		c.Rec.Emit(p.Now(), c.Name+".rx", "drop", int64(pkt.Bytes), "no BUF_LIST match")
+	}
+	c.rxFinishJob(p, pkt.Job, p.Now())
+}
+
+// rxProgramDMA programs the RX DMA and issues the posted write toward the
+// destination memory, returning when the payload lands.
+func (c *Card) rxProgramDMA(p *sim.Proc, pkt *Packet, entry *BufEntry) sim.Time {
+	p.Sleep(c.Cfg.RXDMASetup)
+	target := c.HostMem
+	if entry.Kind == GPUMem {
+		p.Sleep(entry.GPU.P2PWriteCost(pkt.Bytes))
+		target = entry.GPU.PCI
+	}
+	_, arrival := c.Fab.Path(c.PCI, target).Send(p.Now(), pkt.Bytes)
+	return arrival
+}
+
+// rxDeliver accounts a landed packet and advances its job.
+func (c *Card) rxDeliver(p *sim.Proc, pkt *Packet, arrival sim.Time) {
+	c.stats.RXPackets++
+	c.stats.RXBytes += int64(pkt.Bytes)
+	c.rxProgress[pkt.Job.ID] += pkt.Bytes
+	c.rxFinishJob(p, pkt.Job, arrival)
+}
+
+// rxFinishJob retires a job once every byte has either been delivered or
+// dropped. Fully delivered messages raise RecvDone when both the firmware
+// work and the payload's DMA write have finished; messages with drops are
+// drained as incomplete — counted in CardStats.IncompleteRXJobs, traced,
+// and never completed.
+func (c *Card) rxFinishJob(p *sim.Proc, job *TXJob, arrival sim.Time) {
+	delivered := c.rxProgress[job.ID]
+	dropped := c.rxDropped[job.ID]
+	if delivered+dropped < job.Bytes {
+		return
+	}
+	delete(c.rxProgress, job.ID)
+	delete(c.rxDropped, job.ID)
+
+	if dropped > 0 {
+		c.stats.IncompleteRXJobs++
+		if c.Rec.Enabled() {
+			c.Rec.Emit(p.Now(), c.Name+".rx", "job_incomplete", int64(dropped),
+				fmt.Sprintf("job %d from rank %d: %v delivered, %v dropped", job.ID, job.srcRank, delivered, dropped))
+		}
+		return
+	}
+
+	// Firmware raises the completion event for the message; it is
+	// delivered when both the firmware work and the payload's DMA write
+	// have finished.
+	c.Nios.Exec(p, "RX", c.Cfg.RXCompletion)
+	if now := c.Eng.Now(); arrival < now {
+		arrival = now
+	}
+	comp := Completion{
+		Kind:    RecvDone,
+		JobID:   job.ID,
+		SrcRank: job.srcRank,
+		DstRank: c.Rank,
+		DstAddr: job.DstAddr,
+		Bytes:   job.Bytes,
+		Payload: job.Payload,
+	}
+	c.Eng.At(arrival, func() {
+		comp.At = c.Eng.Now()
+		c.RecvCQ.TryPut(comp)
+	})
 }
 
 // SourceRank returns the rank of the card that submitted the job.

@@ -1,0 +1,180 @@
+package core_test
+
+import (
+	"testing"
+
+	"apenetsim/internal/cluster"
+	"apenetsim/internal/core"
+	"apenetsim/internal/rdma"
+	"apenetsim/internal/sim"
+	"apenetsim/internal/trace"
+	"apenetsim/internal/units"
+	"apenetsim/internal/v2p"
+)
+
+// Fully dropped messages must be drained and counted, not silently lost.
+func TestFullyDroppedJobIsDrainedAndCounted(t *testing.T) {
+	eng, cl, epS, _ := twoNodeRig(t, core.DefaultConfig())
+	defer eng.Shutdown()
+	eng.Go("send", func(p *sim.Proc) {
+		src, err := epS.NewHostBuffer(p, 64*units.KB)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := epS.Put(p, 1, 0xDEAD0000, src, 0, 16*units.KB, rdma.PutFlags{}); err != nil {
+			t.Error(err)
+		}
+		epS.WaitSend(p)
+	})
+	eng.Run()
+	card := cl.Nodes[1].Card
+	st := card.Stats()
+	if st.RXDrops != 4 || st.RXDroppedBytes != int64(16*units.KB) {
+		t.Fatalf("drop accounting: %+v", st)
+	}
+	if st.IncompleteRXJobs != 1 {
+		t.Fatalf("IncompleteRXJobs = %d, want 1", st.IncompleteRXJobs)
+	}
+	if card.PendingRXJobs() != 0 {
+		t.Fatalf("pending RX jobs = %d, want 0", card.PendingRXJobs())
+	}
+}
+
+// A buffer deregistered mid-message must not strand the job's rxProgress
+// entry: the job drains as incomplete, with a trace event, and no
+// RecvDone is ever raised.
+func TestPartialDropDrainsIncompleteJob(t *testing.T) {
+	rec := trace.New()
+	eng := sim.New()
+	defer eng.Shutdown()
+	cfg := core.DefaultConfig()
+	cl, err := cluster.TwoNodes(eng, rec, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epS := rdma.NewEndpoint(cl.Nodes[0].Card)
+	epR := rdma.NewEndpoint(cl.Nodes[1].Card)
+
+	ready := sim.NewSignal(eng)
+	var dst *rdma.Buffer
+	eng.Go("recv", func(p *sim.Proc) {
+		var err error
+		dst, err = epR.NewHostBuffer(p, 1*units.MB)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ready.Broadcast()
+		// 1 MB = 256 packets at ~3 us RX service each (~790 us): pulling
+		// the buffer at 100 us lands mid-message deterministically.
+		p.Sleep(100 * sim.Microsecond)
+		dst.Deregister()
+	})
+	eng.Go("send", func(p *sim.Proc) {
+		src, err := epS.NewHostBuffer(p, 1*units.MB)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for dst == nil {
+			ready.Wait(p, "rx.ready")
+		}
+		if _, err := epS.PutBuffer(p, 1, dst, src, 1*units.MB, rdma.PutFlags{}); err != nil {
+			t.Error(err)
+		}
+		epS.WaitSend(p)
+	})
+	eng.Run()
+
+	card := cl.Nodes[1].Card
+	st := card.Stats()
+	if st.RXBytes == 0 || st.RXDroppedBytes == 0 {
+		t.Fatalf("expected a partial delivery, got %+v", st)
+	}
+	if st.RXBytes+st.RXDroppedBytes != int64(1*units.MB) {
+		t.Fatalf("delivered %d + dropped %d != message size", st.RXBytes, st.RXDroppedBytes)
+	}
+	if st.IncompleteRXJobs != 1 {
+		t.Fatalf("IncompleteRXJobs = %d, want 1", st.IncompleteRXJobs)
+	}
+	if card.PendingRXJobs() != 0 {
+		t.Fatal("rxProgress entry stranded after partial drop")
+	}
+	if _, ok := card.RecvCQ.TryGet(); ok {
+		t.Fatal("incomplete job raised a RecvDone")
+	}
+	if evs := rec.Filter("ape1.rx", "job_incomplete"); len(evs) != 1 {
+		t.Fatalf("job_incomplete trace events = %d, want 1", len(evs))
+	}
+}
+
+// The hardware TLB must deliver the same bytes as the firmware walk,
+// faster, with the Nios II doing less RX work — the 28 nm follow-up's
+// headline result.
+func TestHardwareTLBSpeedsUpRX(t *testing.T) {
+	run := func(cfg core.Config) (sim.Time, core.CardStats, v2p.Stats, sim.Duration) {
+		eng := sim.New()
+		defer eng.Shutdown()
+		cl, err := cluster.TwoNodes(eng, nil, cfg, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		epS := rdma.NewEndpoint(cl.Nodes[0].Card)
+		epR := rdma.NewEndpoint(cl.Nodes[1].Card)
+		ready := sim.NewSignal(eng)
+		var dst *rdma.Buffer
+		eng.Go("recv", func(p *sim.Proc) {
+			var err error
+			dst, err = epR.NewHostBuffer(p, 1*units.MB)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ready.Broadcast()
+			for i := 0; i < 4; i++ {
+				epR.WaitRecv(p)
+			}
+		})
+		eng.Go("send", func(p *sim.Proc) {
+			src, err := epS.NewHostBuffer(p, 1*units.MB)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for dst == nil {
+				ready.Wait(p, "rx.ready")
+			}
+			for i := 0; i < 4; i++ {
+				if _, err := epS.PutBuffer(p, 1, dst, src, 1*units.MB, rdma.PutFlags{}); err != nil {
+					t.Error(err)
+				}
+			}
+		})
+		eng.Run()
+		card := cl.Nodes[1].Card
+		return eng.Now(), card.Stats(), card.TranslationStats(), card.Nios.BusyTime("RX")
+	}
+
+	fwT, fwStats, _, fwNios := run(core.DefaultConfig())
+	cfg := core.DefaultConfig()
+	cfg.Translation = v2p.Config{Mode: v2p.ModeTLB}
+	tlbT, tlbStats, xs, tlbNios := run(cfg)
+
+	if fwStats.RXBytes != tlbStats.RXBytes || tlbStats.RXDrops != 0 {
+		t.Fatalf("TLB run delivered different bytes: fw %+v tlb %+v", fwStats, tlbStats)
+	}
+	if tlbT >= fwT {
+		t.Errorf("TLB run (%v) should beat the firmware walk (%v)", tlbT, fwT)
+	}
+	if tlbNios >= fwNios {
+		t.Errorf("TLB Nios RX busy (%v) should be below firmware (%v)", tlbNios, fwNios)
+	}
+	// 4 MB over 64 KB pages = 16 distinct pages; everything else hits.
+	if xs.Fills != 16 || xs.Misses != 16 {
+		t.Errorf("TLB fills/misses = %d/%d, want 16/16", xs.Fills, xs.Misses)
+	}
+	if xs.HitRate() < 0.95 {
+		t.Errorf("TLB hit rate %.3f, want > 0.95", xs.HitRate())
+	}
+}

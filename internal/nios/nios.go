@@ -87,6 +87,15 @@ func (c *CPU) Utilization(now sim.Time) float64 {
 	return float64(c.TotalBusy()) / float64(sim.Duration(now))
 }
 
+// TaskUtilization returns one task's busy time over elapsed time — e.g.
+// the fraction of a run the core spent in RX packet processing.
+func (c *CPU) TaskUtilization(task string, now sim.Time) float64 {
+	if now <= 0 {
+		return 0
+	}
+	return float64(c.taskBusy[task]) / float64(sim.Duration(now))
+}
+
 // TaskShare describes one task's share of core time.
 type TaskShare struct {
 	Task string

@@ -63,6 +63,13 @@ func TestAccounting(t *testing.T) {
 	if u := cpu.Utilization(eng.Now()); u < 0.99 || u > 1.01 {
 		t.Fatalf("utilization = %f", u)
 	}
+	ru := cpu.TaskUtilization("RX", eng.Now())
+	if want := 5.0 / 7.0; ru < want-0.01 || ru > want+0.01 {
+		t.Fatalf("RX task utilization = %f, want ~%f", ru, want)
+	}
+	if cpu.TaskUtilization("RX", 0) != 0 || cpu.TaskUtilization("none", eng.Now()) != 0 {
+		t.Fatal("degenerate task utilizations should be 0")
+	}
 	if cpu.Exec(nil, "zero", 0); cpu.BusyTime("zero") != 0 {
 		t.Fatal("zero-cost exec should be free")
 	}

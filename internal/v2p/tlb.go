@@ -1,0 +1,166 @@
+package v2p
+
+import (
+	"fmt"
+
+	"apenetsim/internal/sim"
+	"apenetsim/internal/units"
+)
+
+// TLBGeometry sizes the hardware TLB and its fixed-function timing.
+type TLBGeometry struct {
+	// Entries is the total translation-entry capacity (default 128).
+	Entries int
+	// Ways is the set associativity; Entries/Ways sets are indexed by the
+	// low page-number bits (default 4). Ways == Entries makes the TLB
+	// fully associative.
+	Ways int
+	// PageBytes is the translation granularity (default 64 KB, the
+	// GPU_V2P descriptor granule); must be a power of two.
+	PageBytes units.ByteSize
+	// LookupTime is the fixed-function probe latency every packet pays in
+	// the RX pipeline, off the Nios II (default 100 ns).
+	LookupTime sim.Duration
+	// FillTime is the extra firmware time to program a TLB entry after a
+	// miss walk, at the Nios II reference clock (default 500 ns).
+	FillTime sim.Duration
+}
+
+// DefaultTLB returns the calibrated 28 nm follow-up geometry.
+func DefaultTLB() TLBGeometry {
+	return TLBGeometry{
+		Entries:    128,
+		Ways:       4,
+		PageBytes:  64 * units.KB,
+		LookupTime: 100 * sim.Nanosecond,
+		FillTime:   500 * sim.Nanosecond,
+	}
+}
+
+// withDefaults fills zero-valued fields from DefaultTLB.
+func (g TLBGeometry) withDefaults() TLBGeometry {
+	def := DefaultTLB()
+	if g.Entries == 0 {
+		g.Entries = def.Entries
+	}
+	if g.Ways == 0 {
+		g.Ways = def.Ways
+	}
+	if g.PageBytes == 0 {
+		g.PageBytes = def.PageBytes
+	}
+	if g.LookupTime == 0 {
+		g.LookupTime = def.LookupTime
+	}
+	if g.FillTime == 0 {
+		g.FillTime = def.FillTime
+	}
+	return g
+}
+
+func (g TLBGeometry) validate() error {
+	switch {
+	case g.Entries <= 0 || g.Ways <= 0:
+		return fmt.Errorf("v2p: TLB needs positive entries (%d) and ways (%d)", g.Entries, g.Ways)
+	case g.Ways > g.Entries || g.Entries%g.Ways != 0:
+		return fmt.Errorf("v2p: TLB entries (%d) must be a multiple of ways (%d)", g.Entries, g.Ways)
+	case g.PageBytes <= 0 || g.PageBytes&(g.PageBytes-1) != 0:
+		return fmt.Errorf("v2p: TLB page size (%v) must be a power of two", g.PageBytes)
+	case g.LookupTime < 0 || g.FillTime < 0:
+		return fmt.Errorf("v2p: negative TLB timing")
+	}
+	return nil
+}
+
+// tlbEntry is one cached page translation.
+type tlbEntry struct {
+	page    uint64
+	valid   bool
+	lastUse uint64 // LRU stamp: the probe counter at last touch
+}
+
+// HardwareTLB is the follow-up work's translation cache: a
+// set-associative array probed by fixed-function logic. Hits bypass the
+// Nios II entirely; misses fall back to the firmware walk, which also
+// programs the entry (LRU victim within the set). Replacement is driven
+// by a deterministic probe counter, so identical call sequences produce
+// identical evictions.
+type HardwareTLB struct {
+	costs Costs
+	geo   TLBGeometry
+	sets  [][]tlbEntry
+	tick  uint64
+	stats Stats
+}
+
+// NewHardwareTLB builds an empty TLB; zero-valued geometry fields take
+// the DefaultTLB values. Invalid geometry panics — cards validate their
+// config before construction.
+func NewHardwareTLB(costs Costs, geo TLBGeometry) *HardwareTLB {
+	geo = geo.withDefaults()
+	if err := geo.validate(); err != nil {
+		panic(err.Error())
+	}
+	nsets := geo.Entries / geo.Ways
+	sets := make([][]tlbEntry, nsets)
+	for i := range sets {
+		sets[i] = make([]tlbEntry, geo.Ways)
+	}
+	return &HardwareTLB{costs: costs, geo: geo, sets: sets}
+}
+
+// Name implements Translator.
+func (t *HardwareTLB) Name() string { return "tlb" }
+
+// Geometry returns the effective (defaulted) geometry.
+func (t *HardwareTLB) Geometry() TLBGeometry { return t.geo }
+
+// Translate implements Translator: probe the set for addr's page; on a
+// hit only the hardware lookup time is paid. On a miss the firmware runs
+// the full walk and, for registered destinations, installs the
+// translation over the set's LRU entry.
+func (t *HardwareTLB) Translate(addr uint64, scanned int, registered bool) Outcome {
+	t.tick++
+	t.stats.Lookups++
+	page := addr / uint64(t.geo.PageBytes)
+	set := t.sets[page%uint64(len(t.sets))]
+
+	for i := range set {
+		if set[i].valid && set[i].page == page {
+			set[i].lastUse = t.tick
+			t.stats.Hits++
+			return Outcome{Hardware: t.geo.LookupTime, Hit: true}
+		}
+	}
+
+	t.stats.Misses++
+	fw := t.costs.walk(scanned)
+	if registered {
+		fw += t.geo.FillTime
+		t.stats.Fills++
+		victim := 0
+		for i := 1; i < len(set); i++ {
+			if t.older(set[i], set[victim]) {
+				victim = i
+			}
+		}
+		if set[victim].valid {
+			t.stats.Evictions++
+		}
+		set[victim] = tlbEntry{page: page, valid: true, lastUse: t.tick}
+	}
+	t.stats.FirmwareTime += fw
+	return Outcome{Firmware: fw, Hardware: t.geo.LookupTime}
+}
+
+// older reports whether a is a better victim than b: invalid entries
+// first, then least recently used.
+func (t *HardwareTLB) older(a, b tlbEntry) bool {
+	if a.valid != b.valid {
+		return !a.valid
+	}
+	return a.lastUse < b.lastUse
+}
+
+// Stats implements Translator.
+func (t *HardwareTLB) Stats() Stats { return t.stats }

@@ -1,0 +1,185 @@
+// Package v2p models the APEnet+ RX address-translation subsystem: the
+// virtual-to-physical resolution every received packet needs before its
+// RX DMA can be programmed.
+//
+// The paper's card resolves translations in firmware — the Nios II scans
+// the BUF_LIST and walks the V2P page table per packet, which serializes
+// against all other firmware work and caps the card at ≈1.2 GB/s RX. The
+// 28 nm follow-up ("Architectural improvements and 28 nm FPGA
+// implementation of the APEnet+ 3D Torus network") moves translation into
+// a hardware TLB, leaving the firmware only the miss fills. Both designs
+// are implemented here behind one interface:
+//
+//   - FirmwareWalk: the paper's path. Every translation costs
+//     BUF_LIST-scan plus page-walk time on the Nios II; cost-identical to
+//     the original inline model, so it is the default.
+//   - HardwareTLB: a set-associative translation cache probed by
+//     fixed-function logic off the Nios II. Hits cost only the hardware
+//     lookup; misses are firmware-serviced (walk + TLB fill) and cached.
+//
+// A Translator does not move data and holds no buffer state — the card's
+// BUF_LIST stays authoritative for what is registered. Translators only
+// decide where each translation's latency lands (hardware pipeline vs
+// Nios II) and account hits, misses, fills and evictions per card.
+package v2p
+
+import (
+	"fmt"
+
+	"apenetsim/internal/sim"
+)
+
+// Costs is the firmware walk cost model, specified at the Nios II
+// reference clock (the card scales it with the configured clock).
+type Costs struct {
+	// BufListBase is the fixed part of BUF_LIST validation.
+	BufListBase sim.Duration
+	// PerBuffer is the cost per BUF_LIST entry scanned.
+	PerBuffer sim.Duration
+	// Walk is the V2P page-table walk (constant, 4 levels).
+	Walk sim.Duration
+}
+
+// walk returns the firmware time of one full translation that scanned
+// `scanned` BUF_LIST entries.
+func (c Costs) walk(scanned int) sim.Duration {
+	return c.BufListBase + sim.Duration(scanned)*c.PerBuffer + c.Walk
+}
+
+// Outcome says where one translation's latency lands.
+type Outcome struct {
+	// Firmware is Nios II time (at the reference clock) the translation
+	// consumes; the card serializes it against all other firmware tasks.
+	Firmware sim.Duration
+	// Hardware is fixed-function pipeline time that does not occupy the
+	// Nios II (the TLB probe).
+	Hardware sim.Duration
+	// Hit reports a hardware TLB hit.
+	Hit bool
+}
+
+// Stats counts a translator's activity. All counters are per card: each
+// card builds its own translator instance.
+type Stats struct {
+	// Lookups is the number of translations requested (one per packet).
+	Lookups int64
+	// Hits and Misses split TLB probes; both stay zero for FirmwareWalk.
+	Hits   int64
+	Misses int64
+	// Fills counts firmware-serviced TLB entry installs; Evictions counts
+	// the valid entries those fills displaced.
+	Fills     int64
+	Evictions int64
+	// FirmwareTime is the cumulative Nios II time requested by
+	// translations, at the reference clock.
+	FirmwareTime sim.Duration
+}
+
+// Add folds another card's counters into s (for cluster-wide totals).
+func (s *Stats) Add(o Stats) {
+	s.Lookups += o.Lookups
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Fills += o.Fills
+	s.Evictions += o.Evictions
+	s.FirmwareTime += o.FirmwareTime
+}
+
+// HitRate returns hits over probes, in [0,1].
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Translator resolves RX address translations and accounts their cost.
+// Implementations must be deterministic: the same call sequence yields
+// the same outcomes and stats.
+type Translator interface {
+	// Name identifies the implementation ("firmware", "tlb").
+	Name() string
+	// Translate resolves the translation for one received packet landing
+	// at addr. scanned is the number of BUF_LIST entries the firmware
+	// walk would examine (the card's validate stage supplies it);
+	// registered is false when the address matched no buffer — the packet
+	// will be dropped, and a TLB must not cache the failed translation.
+	Translate(addr uint64, scanned int, registered bool) Outcome
+	// Stats snapshots the per-card counters.
+	Stats() Stats
+}
+
+// FirmwareWalk is the paper's translation path: every packet pays the
+// full BUF_LIST scan and V2P walk on the Nios II.
+type FirmwareWalk struct {
+	costs Costs
+	stats Stats
+}
+
+// NewFirmwareWalk builds the firmware translator.
+func NewFirmwareWalk(costs Costs) *FirmwareWalk {
+	return &FirmwareWalk{costs: costs}
+}
+
+// Name implements Translator.
+func (f *FirmwareWalk) Name() string { return "firmware" }
+
+// Translate implements Translator. The cost does not depend on addr or
+// registered: the firmware scans the list and walks the table before it
+// can tell the destination is bogus (the seed model's behavior).
+func (f *FirmwareWalk) Translate(addr uint64, scanned int, registered bool) Outcome {
+	d := f.costs.walk(scanned)
+	f.stats.Lookups++
+	f.stats.FirmwareTime += d
+	return Outcome{Firmware: d}
+}
+
+// Stats implements Translator.
+func (f *FirmwareWalk) Stats() Stats { return f.stats }
+
+// Mode selects a translator implementation.
+type Mode int
+
+const (
+	// ModeFirmware is the paper's Nios-serialized walk (the default).
+	ModeFirmware Mode = iota
+	// ModeTLB is the 28 nm follow-up's hardware TLB.
+	ModeTLB
+)
+
+func (m Mode) String() string {
+	if m == ModeTLB {
+		return "tlb"
+	}
+	return "firmware"
+}
+
+// Config selects and parameterizes the RX translator a card builds. The
+// zero value keeps the firmware walk, so existing configurations are
+// unchanged.
+type Config struct {
+	Mode Mode
+	// TLB is the hardware TLB geometry for ModeTLB; zero-valued fields
+	// take the DefaultTLB values.
+	TLB TLBGeometry
+}
+
+// Validate checks the configuration (after defaulting).
+func (c Config) Validate() error {
+	if c.Mode != ModeFirmware && c.Mode != ModeTLB {
+		return fmt.Errorf("v2p: unknown translation mode %d", int(c.Mode))
+	}
+	if c.Mode == ModeTLB {
+		return c.TLB.withDefaults().validate()
+	}
+	return nil
+}
+
+// New builds the configured translator with the card's firmware costs.
+// Each card must call it once: translators hold per-card state.
+func (c Config) New(costs Costs) Translator {
+	if c.Mode == ModeTLB {
+		return NewHardwareTLB(costs, c.TLB)
+	}
+	return NewFirmwareWalk(costs)
+}

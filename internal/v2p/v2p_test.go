@@ -1,0 +1,163 @@
+package v2p
+
+import (
+	"testing"
+
+	"apenetsim/internal/sim"
+	"apenetsim/internal/units"
+)
+
+var testCosts = Costs{
+	BufListBase: 1200 * sim.Nanosecond,
+	PerBuffer:   100 * sim.Nanosecond,
+	Walk:        1500 * sim.Nanosecond,
+}
+
+func TestFirmwareWalkCostIdentity(t *testing.T) {
+	f := NewFirmwareWalk(testCosts)
+	for _, scanned := range []int{0, 1, 7, 512} {
+		out := f.Translate(0x1000, scanned, true)
+		want := testCosts.BufListBase + sim.Duration(scanned)*testCosts.PerBuffer + testCosts.Walk
+		if out.Firmware != want {
+			t.Errorf("scanned=%d: firmware cost %v, want %v", scanned, out.Firmware, want)
+		}
+		if out.Hardware != 0 || out.Hit {
+			t.Errorf("scanned=%d: firmware walk produced hardware time or hit: %+v", scanned, out)
+		}
+	}
+	// Unregistered destinations pay the same full walk (the firmware only
+	// learns the address is bogus after scanning).
+	if got := f.Translate(0xDEAD, 3, false).Firmware; got != testCosts.walk(3) {
+		t.Errorf("unregistered walk cost %v, want %v", got, testCosts.walk(3))
+	}
+	st := f.Stats()
+	if st.Lookups != 5 || st.Hits != 0 || st.Misses != 0 || st.Fills != 0 {
+		t.Errorf("firmware stats: %+v", st)
+	}
+	if st.FirmwareTime == 0 {
+		t.Error("firmware time not accumulated")
+	}
+}
+
+func TestTLBHitMissEvictionDeterminism(t *testing.T) {
+	geo := TLBGeometry{Entries: 2, Ways: 1, PageBytes: 4 * units.KB,
+		LookupTime: 100 * sim.Nanosecond, FillTime: 500 * sim.Nanosecond}
+	page := func(n uint64) uint64 { return n * uint64(geo.PageBytes) }
+
+	run := func() (Stats, []bool) {
+		tlb := NewHardwareTLB(testCosts, geo)
+		var hits []bool
+		// pages 0,1 fill sets 0,1; repeats hit; page 2 (set 0) evicts
+		// page 0; page 0 misses again.
+		for _, n := range []uint64{0, 1, 0, 1, 2, 0} {
+			hits = append(hits, tlb.Translate(page(n), 1, true).Hit)
+		}
+		return tlb.Stats(), hits
+	}
+
+	st, hits := run()
+	wantHits := []bool{false, false, true, true, false, false}
+	for i := range wantHits {
+		if hits[i] != wantHits[i] {
+			t.Fatalf("probe %d: hit=%v, want %v (all: %v)", i, hits[i], wantHits[i], hits)
+		}
+	}
+	if st.Lookups != 6 || st.Hits != 2 || st.Misses != 4 || st.Fills != 4 || st.Evictions != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// Determinism: the same sequence reproduces the same stats.
+	st2, _ := run()
+	if st2 != st {
+		t.Fatalf("non-deterministic stats: %+v vs %+v", st2, st)
+	}
+}
+
+func TestTLBLRUWithinSet(t *testing.T) {
+	// One set, two ways: after 0,1 the LRU entry is 0; touching 0 makes 1
+	// the victim of the next fill.
+	geo := TLBGeometry{Entries: 2, Ways: 2, PageBytes: 4 * units.KB,
+		LookupTime: 1, FillTime: 1}
+	page := func(n uint64) uint64 { return n * uint64(geo.PageBytes) }
+	tlb := NewHardwareTLB(testCosts, geo)
+	tlb.Translate(page(0), 1, true) // miss+fill
+	tlb.Translate(page(1), 1, true) // miss+fill
+	tlb.Translate(page(0), 1, true) // hit, refreshes 0
+	tlb.Translate(page(2), 1, true) // evicts 1 (LRU)
+	if !tlb.Translate(page(0), 1, true).Hit {
+		t.Error("page 0 should have survived the eviction")
+	}
+	if tlb.Translate(page(1), 1, true).Hit {
+		t.Error("page 1 should have been evicted")
+	}
+}
+
+func TestTLBMissCostAndUnregistered(t *testing.T) {
+	geo := DefaultTLB()
+	tlb := NewHardwareTLB(testCosts, geo)
+	out := tlb.Translate(0, 5, true)
+	if want := testCosts.walk(5) + geo.FillTime; out.Firmware != want {
+		t.Errorf("miss firmware cost %v, want walk+fill %v", out.Firmware, want)
+	}
+	if out.Hardware != geo.LookupTime {
+		t.Errorf("miss hardware cost %v, want %v", out.Hardware, geo.LookupTime)
+	}
+	// A failed lookup pays the walk but must not be cached.
+	bad := tlb.Translate(1<<40, 5, false)
+	if want := testCosts.walk(5); bad.Firmware != want {
+		t.Errorf("unregistered firmware cost %v, want bare walk %v", bad.Firmware, want)
+	}
+	if tlb.Translate(1<<40, 5, false).Hit {
+		t.Error("failed translation was cached")
+	}
+	st := tlb.Stats()
+	if st.Fills != 1 || st.Misses != 3 {
+		t.Errorf("stats after unregistered probes: %+v", st)
+	}
+}
+
+func TestTLBHitRate(t *testing.T) {
+	tlb := NewHardwareTLB(testCosts, DefaultTLB())
+	if tlb.Stats().HitRate() != 0 {
+		t.Error("empty TLB hit rate should be 0")
+	}
+	tlb.Translate(0, 1, true)
+	for i := 0; i < 9; i++ {
+		tlb.Translate(0, 1, true)
+	}
+	if hr := tlb.Stats().HitRate(); hr != 0.9 {
+		t.Errorf("hit rate %v, want 0.9", hr)
+	}
+}
+
+func TestConfigSelectionAndValidate(t *testing.T) {
+	if NewFirmwareWalk(testCosts).Name() != "firmware" {
+		t.Error("firmware name")
+	}
+	if (Config{}).New(testCosts).Name() != "firmware" {
+		t.Error("zero config must select the firmware walk")
+	}
+	tr := Config{Mode: ModeTLB}.New(testCosts)
+	if tr.Name() != "tlb" {
+		t.Error("TLB config must select the TLB")
+	}
+	if g := tr.(*HardwareTLB).Geometry(); g != DefaultTLB() {
+		t.Errorf("zero geometry not defaulted: %+v", g)
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("zero config invalid: %v", err)
+	}
+	bad := []Config{
+		{Mode: Mode(7)},
+		{Mode: ModeTLB, TLB: TLBGeometry{Entries: 6, Ways: 4}},
+		{Mode: ModeTLB, TLB: TLBGeometry{PageBytes: 3000}},
+		{Mode: ModeTLB, TLB: TLBGeometry{LookupTime: -1}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if ModeFirmware.String() != "firmware" || ModeTLB.String() != "tlb" {
+		t.Error("mode strings")
+	}
+}
