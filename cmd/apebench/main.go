@@ -17,6 +17,8 @@
 //	apebench -run 'coll-*'                 # glob and prefix patterns
 //	apebench -run coll-scaling -dims 8,8,8
 //	apebench -run fig6,fig8 -tlb           # hardware RX TLB on every card
+//	apebench -run 'route-*,coll-a2a-adaptive'  # routing experiments (adaptive, fault-aware)
+//	apebench -run coll-a2a -router adaptive -hotlinks 3
 //	apebench -all -quick -parallel 4 -json out.json
 //	apebench -all -quick -baseline BENCH_2026-07-27.json -tolerance 1
 //	apebench -all -quick -json auto   # writes BENCH_<date>.json
@@ -31,6 +33,7 @@ import (
 	"time"
 
 	"apenetsim/internal/bench"
+	"apenetsim/internal/route"
 	"apenetsim/internal/torus"
 )
 
@@ -85,6 +88,8 @@ func main() {
 	seed := flag.Int64("seed", 0, "base RNG seed; 0 keeps the paper-default seeds")
 	dimsFlag := flag.String("dims", "", "torus dimensions X,Y,Z for the coll-* experiments (e.g. 8,8,8)")
 	tlb := flag.Bool("tlb", false, "run every card with the hardware RX TLB (28 nm follow-up) instead of the firmware V2P walk")
+	router := flag.String("router", "", "torus routing engine: dor (default), adaptive, or fault")
+	hotlinks := flag.Int("hotlinks", 0, "print the top-N congested links after each coll-*/route-* experiment")
 	flag.Parse()
 
 	if *list {
@@ -99,6 +104,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "apebench: -dims: %v\n", err)
 			os.Exit(2)
 		}
+	}
+	routerMode, err := route.ParseMode(*router)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apebench: -router: %v\n", err)
+		os.Exit(2)
 	}
 
 	var todo []bench.Experiment
@@ -118,7 +128,8 @@ func main() {
 
 	runner := bench.Runner{
 		Parallel: *parallel,
-		Opts:     bench.Options{Quick: *quick, Seed: *seed, Dims: dims, TLB: *tlb},
+		Opts: bench.Options{Quick: *quick, Seed: *seed, Dims: dims, TLB: *tlb,
+			Router: routerMode, HotLinks: *hotlinks},
 		Progress: func(r bench.Result) {
 			status := fmt.Sprintf("%.1fs, %d sim steps", r.WallSeconds, r.SimSteps)
 			if r.Err != "" {
@@ -143,6 +154,19 @@ func main() {
 			fmt.Print(res.Report.Render())
 			fmt.Printf("(%s in %.1fs, %d engines, %d sim steps)\n\n",
 				res.ID, res.WallSeconds, res.SimEngines, res.SimSteps)
+		}
+		if len(res.Report.HotLinks) > 0 {
+			// -hotlinks: congestion data without reading trace JSON. Keep
+			// stdout parseable in -csv mode.
+			out := os.Stdout
+			if *csv {
+				out = os.Stderr
+			}
+			fmt.Fprintf(out, "hot links (%s):\n", res.ID)
+			for _, h := range res.Report.HotLinks {
+				fmt.Fprintf(out, "  %s\n", h)
+			}
+			fmt.Fprintln(out)
 		}
 	}
 	if !*csv {
@@ -170,9 +194,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "apebench:", err)
 			os.Exit(1)
 		}
-		if base.Quick != report.Quick || base.Seed != report.Seed || base.Dims != report.Dims || base.TLB != report.TLB {
-			fmt.Fprintf(os.Stderr, "apebench: incompatible baseline %s (quick=%v seed=%d dims=%q tlb=%v, this run quick=%v seed=%d dims=%q tlb=%v); rerun with matching flags\n",
-				*baseline, base.Quick, base.Seed, base.Dims, base.TLB, report.Quick, report.Seed, report.Dims, report.TLB)
+		if base.Quick != report.Quick || base.Seed != report.Seed || base.Dims != report.Dims ||
+			base.TLB != report.TLB || base.Router != report.Router {
+			fmt.Fprintf(os.Stderr, "apebench: incompatible baseline %s (quick=%v seed=%d dims=%q tlb=%v router=%q, this run quick=%v seed=%d dims=%q tlb=%v router=%q); rerun with matching flags\n",
+				*baseline, base.Quick, base.Seed, base.Dims, base.TLB, base.Router,
+				report.Quick, report.Seed, report.Dims, report.TLB, report.Router)
 			os.Exit(1)
 		}
 		// Keep stdout parseable in -csv mode; the diff goes to stderr there.

@@ -135,6 +135,7 @@ func collHalo(o Options, tlb bool) *Report {
 		dimsList = []torus.Dims{o.Dims}
 	}
 	var rows [][]string
+	var hotLinks []HotLink
 	for _, dims := range dimsList {
 		n := dims.Nodes()
 		for _, face := range faceSizes {
@@ -166,6 +167,7 @@ func collHalo(o Options, tlb bool) *Report {
 				row = append(row, f1(100*worldTLBStats(w).HitRate()))
 			}
 			rows = append(rows, row)
+			hotLinks = append(hotLinks, o.hotLinks(fmt.Sprintf("%v face=%v", dims, face), w.Net(), eng.Now())...)
 			eng.Shutdown()
 		}
 	}
@@ -182,7 +184,7 @@ func collHalo(o Options, tlb bool) *Report {
 		unitsRow = append(unitsRow, "%")
 		notes = append(notes, "all cards translate through the 28 nm follow-up's TLB; hit rate is cluster-wide")
 	}
-	return &Report{ID: id, Title: title, Header: header, Units: unitsRow, Rows: rows, Notes: notes}
+	return &Report{ID: id, Title: title, Header: header, Units: unitsRow, Rows: rows, Notes: notes, HotLinks: hotLinks}
 }
 
 // CollAllReduce compares the two allreduce algorithms on the same torus:
@@ -231,6 +233,7 @@ func CollAllReduce(o Options) *Report {
 		})
 	}
 	hot := hotspotCells(w.Net(), eng.Now())
+	hotLinks := o.hotLinks(dims.String(), w.Net(), eng.Now())
 	rep := &Report{ID: "coll-allreduce",
 		Title:  fmt.Sprintf("Sum-allreduce on a %v torus (%d cards, GPU buffers)", dims, n),
 		Header: []string{"vector", "ring time", "ring rate", "dim-order time", "dim-order rate"},
@@ -240,7 +243,8 @@ func CollAllReduce(o Options) *Report {
 			"rate = vector bytes / completion time (effective allreduce rate per rank)",
 			"both algorithms verify against the serial reduction every run",
 			fmt.Sprintf("hotspot: peak link util %s%%, link %s, peak backlog %s us", hot[0], hot[1], hot[2]),
-		}}
+		},
+		HotLinks: hotLinks}
 	rep.SetMeta("dims", dims.String())
 	rep.SetMeta("cards", fmt.Sprint(n))
 	eng.Shutdown()
@@ -272,6 +276,7 @@ func CollAllToAll(o Options) *Report {
 			}
 		}
 	})
+	hotLinks := o.hotLinks(dims.String(), w.Net(), eng.Now())
 	var rows [][]string
 	for si, sz := range sizes {
 		total := units.ByteSize(n*(n-1)) * sz
@@ -293,7 +298,8 @@ func CollAllToAll(o Options) *Report {
 		Notes: []string{
 			fmt.Sprintf("average route length %.2f hops: each byte occupies that many links, dividing the bisection", dims.AvgHops()),
 			"hotspot columns are cumulative over the run (warm-up + all sizes)",
-		}}
+		},
+		HotLinks: hotLinks}
 	rep.SetMeta("dims", dims.String())
 	rep.SetMeta("avg_hops", fmt.Sprintf("%.2f", dims.AvgHops()))
 	eng.Shutdown()
@@ -348,6 +354,7 @@ func collScaling(o Options, tlb bool) *Report {
 	const vlen = 8
 
 	var rows [][]string
+	var hotLinks []HotLink
 	for _, dims := range dimsList {
 		n := dims.Nodes()
 		want := collWant(n, vlen)
@@ -381,6 +388,7 @@ func collScaling(o Options, tlb bool) *Report {
 			row = append(row, f1(100*worldTLBStats(w).HitRate()))
 		}
 		rows = append(rows, row)
+		hotLinks = append(hotLinks, o.hotLinks(dims.String(), w.Net(), eng.Now())...)
 		eng.Shutdown()
 	}
 	id, title := "coll-scaling", "Collective scaling with torus size (GPU buffers)"
@@ -396,7 +404,7 @@ func collScaling(o Options, tlb bool) *Report {
 		unitsRow = append(unitsRow, "%")
 		notes = append(notes, "all cards translate through the 28 nm follow-up's TLB; hit rate is cluster-wide")
 	}
-	rep := &Report{ID: id, Title: title, Header: header, Units: unitsRow, Rows: rows, Notes: notes}
+	rep := &Report{ID: id, Title: title, Header: header, Units: unitsRow, Rows: rows, Notes: notes, HotLinks: hotLinks}
 	rep.SetMeta("face_bytes", faceBytes.String())
 	rep.SetMeta("reduce_bytes", reduceBytes.String())
 	return rep

@@ -12,6 +12,7 @@ import (
 	"apenetsim/internal/hsg"
 	"apenetsim/internal/mpigpu"
 	"apenetsim/internal/rdma"
+	"apenetsim/internal/route"
 	"apenetsim/internal/sim"
 	"apenetsim/internal/torus"
 	"apenetsim/internal/trace"
@@ -38,6 +39,18 @@ type Options struct {
 	// the run JSON; experiments that compare both paths explicitly
 	// (rx-tlb, rx-translation-ablation) ignore it.
 	TLB bool
+	// Router switches every torus built by the experiments to the given
+	// routing engine (see internal/route); the zero value keeps the
+	// paper's dimension-ordered router. Set from apebench's -router flag
+	// and recorded in the run JSON; the routing experiments (route-* and
+	// coll-a2a-adaptive) compare routers explicitly and ignore it.
+	Router route.Mode
+	// HotLinks, when positive, makes the experiments that drive collective
+	// torus traffic (the coll-* and route-* families) record their top-N
+	// congested links into the report (apebench -hotlinks); zero keeps
+	// reports byte-identical to earlier runs. The two-node and loop-back
+	// experiments have no interesting link contention and ignore it.
+	HotLinks int
 	// Account, when non-nil, aggregates engine and executed-event counts
 	// from every simulation the experiment builds.
 	Account *sim.Account
@@ -58,6 +71,9 @@ func (o Options) config() core.Config {
 	cfg.Account = o.Account
 	if o.TLB {
 		cfg.Translation = v2p.Config{Mode: v2p.ModeTLB}
+	}
+	if o.Router != route.ModeDimensionOrder {
+		cfg.Routing = route.Config{Mode: o.Router, Seed: o.Seed}
 	}
 	return cfg
 }
@@ -105,6 +121,9 @@ func All() []Experiment {
 		{"coll-scaling", "Collective scaling up to 8x8x8 (512 cards)", "collective", CollScaling},
 		{"coll-halo-tlb", "Halo exchange with the hardware RX TLB", "28nm follow-up", CollHaloTLB},
 		{"coll-scaling-tlb", "Collective scaling with the hardware RX TLB", "28nm follow-up", CollScalingTLB},
+		{"route-hotspot", "Adaptive vs dimension-order routing under a transpose hotspot", "routing", RouteHotspot},
+		{"route-degraded", "Allreduce on a degrading torus: fault-aware routing around dead links", "routing", RouteDegraded},
+		{"coll-a2a-adaptive", "All-to-all hot-link spread: dimension-order vs adaptive", "routing", CollAllToAllAdaptive},
 	}
 }
 

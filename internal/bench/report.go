@@ -26,6 +26,32 @@ type Report struct {
 	// Meta carries free-form experiment metadata (GPU model, sweep
 	// parameters, problem scale, ...).
 	Meta map[string]string `json:"meta,omitempty"`
+	// HotLinks lists the busiest torus links behind the report, recorded
+	// only when the run asked for them (apebench -hotlinks N); an
+	// additive schema-1 field, absent otherwise.
+	HotLinks []HotLink `json:"hot_links,omitempty"`
+}
+
+// HotLink is one congested-link snapshot attached to a report.
+type HotLink struct {
+	// Run labels which of the experiment's simulations the link belongs
+	// to (torus dims, sweep point), since one report may span several.
+	Run string `json:"run,omitempty"`
+	// Link names the directed link, e.g. "(1,2,0)X+".
+	Link          string  `json:"link"`
+	Packets       int64   `json:"packets"`
+	WireBytes     int64   `json:"wire_bytes"`
+	UtilPct       float64 `json:"util_pct"`
+	PeakBacklogUs float64 `json:"peak_backlog_us"`
+}
+
+func (h HotLink) String() string {
+	run := h.Run
+	if run != "" {
+		run = "[" + run + "] "
+	}
+	return fmt.Sprintf("%s%-10s %8d pkts  %12d wire B  util %5.1f%%  peak backlog %.1f us",
+		run, h.Link, h.Packets, h.WireBytes, h.UtilPct, h.PeakBacklogUs)
 }
 
 // SetMeta records one metadata key, allocating the map on first use.

@@ -46,7 +46,11 @@ type Run struct {
 	// TLB records a -tlb override: every card ran with the hardware RX
 	// TLB instead of the firmware V2P walk. Additive field: older
 	// schema-1 readers ignore it.
-	TLB     bool     `json:"tlb,omitempty"`
+	TLB bool `json:"tlb,omitempty"`
+	// Router records a -router override ("adaptive", "fault"); empty when
+	// the experiments ran with the default dimension-ordered router.
+	// Additive field: older schema-1 readers ignore it.
+	Router  string   `json:"router,omitempty"`
 	Results []Result `json:"results"`
 }
 

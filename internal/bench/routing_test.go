@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func cellInt(t *testing.T, rep *Report, row int, col string) int64 {
+	t.Helper()
+	c := rep.ColumnIndex(col)
+	if c < 0 {
+		t.Fatalf("%s: no column %q in %v", rep.ID, col, rep.Header)
+	}
+	v, err := strconv.ParseInt(rep.Rows[row][c], 10, 64)
+	if err != nil {
+		t.Fatalf("%s: row %d col %q = %q: %v", rep.ID, row, col, rep.Rows[row][c], err)
+	}
+	return v
+}
+
+// route-degraded must show detours engaging as cables die and end with a
+// synchronously refused partition row.
+func TestRouteDegradedReport(t *testing.T) {
+	rep := RouteDegraded(Options{Quick: true})
+	if len(rep.Rows) != 4 {
+		t.Fatalf("rows = %d, want 0/1/2 links down + partition", len(rep.Rows))
+	}
+	if got := cellInt(t, rep, 0, "routed-around jobs"); got != 0 {
+		t.Fatalf("healthy torus routed around %d jobs", got)
+	}
+	for row := 1; row <= 2; row++ {
+		if got := cellInt(t, rep, row, "routed-around jobs"); got <= 0 {
+			t.Fatalf("row %d: no jobs routed around dead links", row)
+		}
+		if got := cellInt(t, rep, row, "detour hops"); got <= 0 {
+			t.Fatalf("row %d: no detour hops", row)
+		}
+	}
+	last := rep.Rows[3]
+	if !strings.Contains(last[0], "isolated") || last[1] != "refused" {
+		t.Fatalf("partition row = %v, want an isolated/refused row", last)
+	}
+	found := false
+	for _, n := range rep.Notes {
+		if strings.Contains(n, "unreachable") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("notes carry no unreachable error: %v", rep.Notes)
+	}
+}
+
+// route-hotspot must show the adaptive router engaging (deviations) and
+// not losing to dimension order on the transpose pattern it targets.
+func TestRouteHotspotReport(t *testing.T) {
+	rep := RouteHotspot(Options{Quick: true})
+	if len(rep.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	if got := cellInt(t, rep, 0, "deviations"); got <= 0 {
+		t.Fatalf("adaptive router never deviated: %v", rep.Rows[0])
+	}
+	dor := rep.Value(0, rep.ColumnIndex("DOR time"))
+	ada := rep.Value(0, rep.ColumnIndex("adaptive time"))
+	if !dor.Numeric || !ada.Numeric || ada.Num > dor.Num {
+		t.Fatalf("adaptive (%v us) slower than dimension order (%v us) on the transpose", ada.Text, dor.Text)
+	}
+}
+
+// Hot-link recording must be strictly opt-in so default reports stay
+// byte-identical run over run.
+func TestHotLinksOptIn(t *testing.T) {
+	if rep := CollAllToAllAdaptive(Options{Quick: true}); len(rep.HotLinks) != 0 {
+		t.Fatalf("hot links recorded without -hotlinks: %v", rep.HotLinks)
+	}
+	rep := CollAllToAllAdaptive(Options{Quick: true, HotLinks: 2})
+	if len(rep.HotLinks) == 0 {
+		t.Fatal("-hotlinks recorded nothing")
+	}
+	for _, h := range rep.HotLinks {
+		if h.Link == "" || h.WireBytes <= 0 || h.Run == "" {
+			t.Fatalf("malformed hot link %+v", h)
+		}
+	}
+}

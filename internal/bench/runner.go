@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"apenetsim/internal/route"
 	"apenetsim/internal/sim"
 )
 
@@ -56,6 +57,9 @@ func (r *Runner) Run(exps []Experiment) *Run {
 	}
 	if r.Opts.Dims.Valid() {
 		run.Dims = r.Opts.Dims.String()
+	}
+	if r.Opts.Router != route.ModeDimensionOrder {
+		run.Router = r.Opts.Router.String()
 	}
 
 	jobs := make(chan int)

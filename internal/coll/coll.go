@@ -226,6 +226,34 @@ func (r *Rank) put(p *sim.Proc, dst int, n units.ByteSize, tag uint64, vals []fl
 	r.sendsOut++
 }
 
+// TryPut issues one PUT of n wire bytes toward dst's receive slot and
+// returns the submission error, if any. Collectives always panic on PUT
+// failure (a healthy world never fails); degraded-routing experiments
+// use TryPut to probe whether a partitioned torus cleanly refuses
+// traffic without taking down the SPMD program. The probe rides a
+// normally tagged payload, so one that does get delivered (the torus
+// was degraded but connected) just sits in the receiver's pending
+// buffer like any unconsumed message. It advances only the caller's
+// collective-call counter — probe asymmetrically, or between aligned
+// collective phases.
+func (r *Rank) TryPut(p *sim.Proc, dst int, n units.ByteSize) error {
+	if n < 1 {
+		n = 1
+	}
+	if n > r.w.Cfg.SlotBytes {
+		return fmt.Errorf("coll: message %v exceeds slot %v", n, r.w.Cfg.SlotBytes)
+	}
+	base := r.opBase()
+	peer := r.w.Ranks[dst]
+	_, err := r.ep.Put(p, dst, peer.recv.Addr, r.send, 0, n, rdma.PutFlags{
+		Payload: collMsg{tag: base, src: r.ID},
+	})
+	if err == nil {
+		r.sendsOut++
+	}
+	return err
+}
+
 // get blocks until the message with the given tag from src arrives,
 // buffering any other completions that surface first (MPI-style matching
 // over the card's single receive completion queue).

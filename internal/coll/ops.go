@@ -183,6 +183,24 @@ func (r *Rank) Broadcast(p *sim.Proc, root int, bytes units.ByteSize, vals []flo
 	return append([]float64(nil), cur...)
 }
 
+// Exchange performs one pairwise exchange: bytes to peer, and the
+// matching message back from peer, which must name this rank in its own
+// Exchange call of the same SPMD step. Ranks whose peer is themselves
+// skip the wire but still advance the collective-call counter, so mixed
+// worlds stay tag-aligned. This is the building block of permutation
+// traffic patterns (transpose, shuffle) — the workloads that separate
+// adaptive from static routing.
+func (r *Rank) Exchange(p *sim.Proc, peer int, bytes units.ByteSize, vals []float64) Msg {
+	base := r.opBase()
+	if peer == r.ID {
+		return Msg{Src: r.ID, Vals: append([]float64(nil), vals...)}
+	}
+	r.put(p, peer, bytes, base, vals)
+	m := r.get(p, base, peer)
+	r.drainSends(p)
+	return m
+}
+
 // AllToAll sends bytes to every other rank (start offsets rotated per
 // rank to spread injection) and returns the received messages indexed by
 // source rank (the self entry is empty). This is the BFS-style frontier

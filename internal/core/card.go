@@ -83,6 +83,17 @@ type CardStats struct {
 	// can never complete because some packets were dropped; their
 	// progress state has been drained and no RecvDone was raised.
 	IncompleteRXJobs int64
+
+	// Routing counters for traffic this card injected (see internal/route).
+	// AdaptiveDeviations counts hops routed off the dimension-ordered
+	// direction; RoutedAroundJobs counts jobs detoured around links marked
+	// down; UnreachableJobs counts PUTs refused at submit time because the
+	// destination was cut off; UnroutablePackets counts packets lost to a
+	// dead link mid-route (fault-blind routers only).
+	AdaptiveDeviations int64
+	RoutedAroundJobs   int64
+	UnreachableJobs    int64
+	UnroutablePackets  int64
 }
 
 // NewCard creates a card on a node's PCIe fabric and registers it in the
@@ -196,13 +207,25 @@ func (c *Card) RegisterBuffer(p *sim.Proc, e *BufEntry) error {
 // (the paper's benchmark loop "enqueuing as many RDMA PUT as possible as
 // to keep the transmission queue constantly full" exercises exactly this).
 // The per-message kernel-driver cost is paid by the caller, modeling the
-// synchronous part of the PUT API.
-func (c *Card) Submit(p *sim.Proc, job *TXJob) {
+// synchronous part of the PUT API. Jobs toward destinations the router
+// cannot reach — a rank outside the torus, or a node cut off by links
+// marked down — fail here, synchronously, like a driver returning
+// ENETUNREACH: nothing enters the TX pipeline, so degraded-torus runs
+// end with an error instead of a hang.
+func (c *Card) Submit(p *sim.Proc, job *TXJob) error {
 	if job.Bytes <= 0 {
 		panic("core: empty job")
 	}
 	if job.SrcKind == GPUMem && job.SrcGPU == nil {
 		panic("core: GPU job without source device")
+	}
+	if job.DstRank < 0 || job.DstRank >= c.Net.Dims.Nodes() {
+		return fmt.Errorf("core: no rank %d in torus %v", job.DstRank, c.Net.Dims)
+	}
+	if job.DstRank != c.Rank && !c.Net.Reachable(c.Coord, c.Net.Dims.CoordOf(job.DstRank)) {
+		c.stats.UnreachableJobs++
+		return fmt.Errorf("core: rank %d (%v) unreachable from rank %d (%v): torus partitioned by down links",
+			job.DstRank, c.Net.Dims.CoordOf(job.DstRank), c.Rank, c.Coord)
 	}
 	c.nextJobID++
 	job.ID = c.nextJobID<<16 | uint64(c.Rank&0xffff) // unique across cards
@@ -211,6 +234,7 @@ func (c *Card) Submit(p *sim.Proc, job *TXJob) {
 	p.Sleep(c.Cfg.TXDriverPerMessage)
 	c.stats.JobsSubmitted++
 	c.txq.Put(p, job)
+	return nil
 }
 
 // packetize splits a job into packets of at most MaxPayload.

@@ -14,6 +14,7 @@ package core
 import (
 	"fmt"
 
+	"apenetsim/internal/route"
 	"apenetsim/internal/sim"
 	"apenetsim/internal/units"
 	"apenetsim/internal/v2p"
@@ -79,6 +80,13 @@ type Config struct {
 	// firmware V2P walk; v2p.ModeTLB enables the 28 nm follow-up's
 	// hardware TLB, whose hits bypass the Nios II.
 	Translation v2p.Config
+
+	// Routing selects the torus routing engine (see internal/route): the
+	// zero value keeps the paper's dimension-ordered router — path- and
+	// cost-identical to the historical behavior — while ModeAdaptive and
+	// ModeFaultAware enable backlog-adaptive and degraded-link routing.
+	// The network adopts the first registered card's setting.
+	Routing route.Config
 
 	// RXQueuePackets is the receive buffering per card; torus link-level
 	// flow control stalls senders when a receiver runs out of credits,
@@ -170,6 +178,9 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("core: bad link bandwidth or Nios clock")
 	case c.HostReadOutstanding <= 0 || c.HostReadChunk <= 0:
 		return fmt.Errorf("core: bad host read DMA parameters")
+	}
+	if err := c.Routing.Validate(); err != nil {
+		return err
 	}
 	return c.Translation.Validate()
 }

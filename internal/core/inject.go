@@ -1,14 +1,17 @@
 package core
 
 import (
+	"fmt"
+
 	"apenetsim/internal/sim"
 )
 
 // runInjector drains fully-fetched packets from the TX path into the
 // router: it serializes on the first link hop (the card has one injection
 // port per route), frees TX FIFO space as the packet leaves, and books the
-// remaining hops as cut-through reservations. In flush mode the internal
-// switch discards packets (the paper's raw memory-read measurement).
+// remaining hops as cut-through reservations, asking the network's
+// route.Router for every hop. In flush mode the internal switch discards
+// packets (the paper's raw memory-read measurement).
 func (c *Card) runInjector(p *sim.Proc) {
 	for {
 		pkt := c.injectQ.Get(p)
@@ -35,7 +38,6 @@ func (c *Card) runInjector(p *sim.Proc) {
 			continue
 		}
 
-		route := c.Net.Dims.Route(c.Coord, dstCoord)
 		dest := c.Net.Card(pkt.Job.DstRank)
 		if dest == nil {
 			panic("core: packet routed to unregistered card")
@@ -43,12 +45,68 @@ func (c *Card) runInjector(p *sim.Proc) {
 		// Link-level flow control: wait for receive buffering at the
 		// destination before injecting.
 		dest.rxCredits.Acquire(p, 1)
-		_, end := c.Net.reserveHop(c.Rank, route[0], p.Now(), wire)
+
+		var tally routeTally
+		dec, ok := c.Net.nextHop(c.Coord, dstCoord, p.Now(), wire)
+		if !ok {
+			// Account before dropping: earlier packets may already have
+			// flagged the job as routed around, and its last packet must
+			// still count it.
+			c.accountRouting(pkt, tally)
+			c.dropUnroutable(p, pkt, dest)
+			continue
+		}
+		tally.add(dec)
+		_, end := c.Net.reserveHop(c.Rank, dec.Dir, p.Now(), wire)
 		p.SleepUntil(end)
 		c.txFIFO.Get(p, int64(wire))
 		c.completePacketTX(pkt)
 
-		_, arrival := c.Net.route(c.Coord, route, end, wire)
+		arrival, ok := c.Net.forward(c.Coord, dec.Dir, dstCoord, end, wire, &tally)
+		c.accountRouting(pkt, tally)
+		if !ok {
+			// Mid-route dead end (a link died under a fault-blind router
+			// after submit-time checks): the packet is lost on the floor.
+			// FIFO space and the send completion were already handled.
+			c.accountLostPacket(p, pkt, dest, "lost mid-route toward rank %d")
+			continue
+		}
 		c.Eng.At(arrival, func() { dest.rxQ.TryPut(pkt) })
+	}
+}
+
+// dropUnroutable discards a packet whose very first hop had no usable
+// link, keeping the TX pipeline healthy: FIFO space is freed and the
+// local send completion still fires.
+func (c *Card) dropUnroutable(p *sim.Proc, pkt *Packet, dest *Card) {
+	c.txFIFO.Get(p, int64(c.wireSize(pkt)))
+	c.completePacketTX(pkt)
+	c.accountLostPacket(p, pkt, dest, "no route to rank %d")
+}
+
+// accountLostPacket is the shared tail of both drop paths: the
+// destination credit goes back, the loss is counted and traced, and the
+// destination learns the bytes will never arrive so the damaged job can
+// drain as incomplete instead of stranding a receiver.
+func (c *Card) accountLostPacket(p *sim.Proc, pkt *Packet, dest *Card, reasonFmt string) {
+	dest.rxCredits.Release(1)
+	dest.rxWireLoss(pkt)
+	c.stats.UnroutablePackets++
+	if c.Rec.Enabled() {
+		c.Rec.Emit(p.Now(), c.Name+".inject", "unroutable", int64(pkt.Bytes),
+			fmt.Sprintf(reasonFmt, pkt.Job.DstRank))
+	}
+}
+
+// accountRouting folds one packet's routing decisions into the injecting
+// card's counters: per-hop deviations, and — once per job, on its last
+// packet — whether the job was detoured around a link marked down.
+func (c *Card) accountRouting(pkt *Packet, tally routeTally) {
+	c.stats.AdaptiveDeviations += int64(tally.deviations)
+	if tally.faultDetour {
+		pkt.Job.routedAround = true
+	}
+	if pkt.Last && pkt.Job.routedAround {
+		c.stats.RoutedAroundJobs++
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"apenetsim/internal/pcie"
+	"apenetsim/internal/route"
 	"apenetsim/internal/sim"
 	"apenetsim/internal/torus"
 	"apenetsim/internal/trace"
@@ -13,7 +14,11 @@ import (
 
 // Network is the 3D torus connecting a set of cards: six directed link
 // channels per node plus the registry used by the injectors to route
-// packets hop by hop (dimension-ordered, like the APEnet+ router).
+// packets hop by hop. The hop decisions belong to a pluggable
+// route.Router (dimension-ordered by default, like the APEnet+ router;
+// adaptive and fault-aware variants via Config.Routing), which reads the
+// network through the route.View interface: topology, per-link up/down
+// state, and live queueing backlog.
 //
 // Every hop reservation is metered per directed link (packets, wire
 // bytes, peak backlog), so congestion on large tori can be localized:
@@ -28,6 +33,15 @@ type Network struct {
 	cards  map[int]*Card
 	links  map[linkKey]*pcie.Channel
 	meters map[linkKey]*linkMeter
+
+	router    route.Router
+	routerSet bool // true once the first card's Config.Routing was applied
+
+	// linkDown holds the directed links marked out of service; stateEpoch
+	// increments on every change so routers can invalidate reachability
+	// caches.
+	linkDown   map[linkKey]bool
+	stateEpoch uint64
 }
 
 type linkKey struct {
@@ -81,17 +95,21 @@ func NewNetwork(eng *sim.Engine, dims torus.Dims, linkBW units.Bandwidth, hopLat
 		panic("core: invalid torus dimensions")
 	}
 	return &Network{
-		Eng:    eng,
-		Dims:   dims,
-		linkBW: linkBW,
-		hopLat: hopLat,
-		cards:  make(map[int]*Card),
-		links:  make(map[linkKey]*pcie.Channel),
-		meters: make(map[linkKey]*linkMeter),
+		Eng:      eng,
+		Dims:     dims,
+		linkBW:   linkBW,
+		hopLat:   hopLat,
+		cards:    make(map[int]*Card),
+		links:    make(map[linkKey]*pcie.Channel),
+		meters:   make(map[linkKey]*linkMeter),
+		router:   route.Config{}.New(),
+		linkDown: make(map[linkKey]bool),
 	}
 }
 
 // register wires a card into the torus, creating its six outgoing links.
+// The first registered card's Config.Routing selects the network's
+// router (all cards of a cluster share one card config in practice).
 func (n *Network) register(c *Card) {
 	if !n.Dims.Contains(c.Coord) {
 		panic(fmt.Sprintf("core: card coord %v outside torus %v", c.Coord, n.Dims))
@@ -99,6 +117,10 @@ func (n *Network) register(c *Card) {
 	rank := n.Dims.Rank(c.Coord)
 	if _, dup := n.cards[rank]; dup {
 		panic(fmt.Sprintf("core: duplicate card at %v", c.Coord))
+	}
+	if !n.routerSet {
+		n.router = c.Cfg.Routing.New()
+		n.routerSet = true
 	}
 	c.Rank = rank
 	n.cards[rank] = c
@@ -140,20 +162,160 @@ func (n *Network) reserveHop(rank int, dir torus.Dir, from sim.Time, wire units.
 	return start, end
 }
 
-// route books a packet's wire traversal from src along hops, returning the
-// arrival time at the destination. The first hop must already have been
-// reserved by the injector (source serialization); this handles hops 2..n
-// as cut-through reservations.
-func (n *Network) route(srcCoord torus.Coord, hops []torus.Dir, firstHopEnd sim.Time, wire units.ByteSize) (torus.Coord, sim.Time) {
-	cur := n.Dims.Neighbor(srcCoord, hops[0])
-	arrival := firstHopEnd.Add(n.hopLat)
-	for _, dir := range hops[1:] {
-		_, end := n.reserveHop(n.Dims.Rank(cur), dir, arrival, wire)
-		arrival = end.Add(n.hopLat)
-		cur = n.Dims.Neighbor(cur, dir)
-	}
-	return cur, arrival
+// Router returns the network's routing engine (for stats and tests).
+func (n *Network) Router() route.Router { return n.router }
+
+// routeTally summarizes the routing decisions behind one packet's path;
+// the injector folds it into the source card's counters.
+type routeTally struct {
+	deviations  int  // hops chosen off the dimension-ordered direction
+	faultDetour bool // some hop detoured around links marked down
 }
+
+// add folds one hop decision into the tally.
+func (t *routeTally) add(dec route.Decision) {
+	if dec.Deviated {
+		t.deviations++
+	}
+	if dec.FaultDetour {
+		t.faultDetour = true
+	}
+}
+
+// nextHop asks the router for the hop out of cur toward dst at time at.
+// ok=false means no usable hop exists: the destination is unreachable, or
+// a fault-blind router picked a link that is out of service.
+func (n *Network) nextHop(cur, dst torus.Coord, at sim.Time, wire units.ByteSize) (route.Decision, bool) {
+	dec, ok := n.router.NextHop(n, cur, dst, at, wire)
+	if !ok {
+		return dec, false
+	}
+	if len(n.linkDown) != 0 && !n.LinkUp(cur, dec.Dir) {
+		// Only a fault-blind router (dimension order, adaptive) can pick a
+		// dead link; the packet is lost rather than carried by a dead wire.
+		return dec, false
+	}
+	return dec, true
+}
+
+// forward books a packet's wire traversal beyond its first hop: the
+// injector has already reserved hop 1 (dir firstDir out of srcCoord,
+// wire time ending at firstHopEnd); forward asks the router for each
+// remaining hop at the packet's cut-through arrival time and books it,
+// until the packet reaches dst. ok=false means a mid-route dead end (a
+// link died under a fault-blind router): the packet is lost and the
+// caller must account it.
+func (n *Network) forward(srcCoord torus.Coord, firstDir torus.Dir, dst torus.Coord, firstHopEnd sim.Time, wire units.ByteSize, tally *routeTally) (arrival sim.Time, ok bool) {
+	cur := n.Dims.Neighbor(srcCoord, firstDir)
+	arrival = firstHopEnd.Add(n.hopLat)
+	for cur != dst {
+		dec, ok := n.nextHop(cur, dst, arrival, wire)
+		if !ok {
+			return arrival, false
+		}
+		tally.add(dec)
+		_, end := n.reserveHop(n.Dims.Rank(cur), dec.Dir, arrival, wire)
+		arrival = end.Add(n.hopLat)
+		cur = n.Dims.Neighbor(cur, dec.Dir)
+	}
+	return arrival, true
+}
+
+// Reachable reports whether the router can carry traffic from a to b
+// under the current link state. The card's submit path uses it to fail
+// PUTs toward cut-off nodes synchronously.
+func (n *Network) Reachable(a, b torus.Coord) bool {
+	if a == b {
+		return true
+	}
+	return n.router.Reachable(n, a, b)
+}
+
+// LinkID names one directed torus link by source coordinate + direction.
+type LinkID struct {
+	Coord torus.Coord
+	Dir   torus.Dir
+}
+
+func (id LinkID) String() string { return fmt.Sprintf("%v%s", id.Coord, id.Dir) }
+
+// SetLinkState marks one directed link in or out of service and bumps the
+// state epoch so routers drop cached reachability data. Traffic already
+// booked on the link is unaffected (the cable dies for future packets).
+func (n *Network) SetLinkState(id LinkID, up bool) {
+	if !n.Dims.Contains(id.Coord) || id.Dir < 0 || id.Dir >= torus.NumDirs {
+		panic(fmt.Sprintf("core: bad link %v in torus %v", id, n.Dims))
+	}
+	key := linkKey{n.Dims.Rank(id.Coord), id.Dir}
+	if n.linkDown[key] == !up {
+		return
+	}
+	if up {
+		delete(n.linkDown, key)
+	} else {
+		n.linkDown[key] = true
+	}
+	n.stateEpoch++
+}
+
+// CutCable downs both directions of the cable between coord and its
+// neighbor in direction dir (on size-2 rings, where two distinct cables
+// join the same node pair, only the named pair goes down).
+func (n *Network) CutCable(coord torus.Coord, dir torus.Dir) {
+	n.SetLinkState(LinkID{coord, dir}, false)
+	n.SetLinkState(LinkID{n.Dims.Neighbor(coord, dir), dir.Opposite()}, false)
+}
+
+// IsolateNode cuts every cable touching coord, partitioning it off.
+func (n *Network) IsolateNode(coord torus.Coord) {
+	for dir := torus.Dir(0); dir < torus.NumDirs; dir++ {
+		if n.Dims.Neighbor(coord, dir) != coord {
+			n.CutCable(coord, dir)
+		}
+	}
+}
+
+// DownLinks returns the directed links currently out of service, ordered
+// by (rank, dir) for determinism.
+func (n *Network) DownLinks() []LinkID {
+	var keys []linkKey
+	for k := range n.linkDown {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].rank != keys[j].rank {
+			return keys[i].rank < keys[j].rank
+		}
+		return keys[i].dir < keys[j].dir
+	})
+	out := make([]LinkID, len(keys))
+	for i, k := range keys {
+		out[i] = LinkID{n.Dims.CoordOf(k.rank), k.dir}
+	}
+	return out
+}
+
+// Torus implements route.View.
+func (n *Network) Torus() torus.Dims { return n.Dims }
+
+// LinkUp implements route.View.
+func (n *Network) LinkUp(from torus.Coord, dir torus.Dir) bool {
+	return !n.linkDown[linkKey{n.Dims.Rank(from), dir}]
+}
+
+// QueueDelay implements route.View: the time a packet of wire bytes
+// asking for the directed link (from, dir) at `at` would wait before its
+// burst starts — a dry-run of the reservation the hop would make.
+func (n *Network) QueueDelay(from torus.Coord, dir torus.Dir, at sim.Time, wire units.ByteSize) sim.Duration {
+	ch := n.links[linkKey{n.Dims.Rank(from), dir}]
+	if ch == nil {
+		return 0
+	}
+	return ch.Probe(at, wire).Sub(at)
+}
+
+// StateEpoch implements route.View.
+func (n *Network) StateEpoch() uint64 { return n.stateEpoch }
 
 // LinkStats snapshots every directed link that carried at least one
 // packet, ordered by (rank, dir). Loop-back traffic (destination == source

@@ -39,6 +39,10 @@ type TXJob struct {
 	Submitted sim.Time
 
 	srcRank int
+	// routedAround marks that some packet of the job was detoured around
+	// a link marked down; the injector counts the job once, on its last
+	// packet (CardStats.RoutedAroundJobs).
+	routedAround bool
 }
 
 // Packet is one network packet of a fragmented job.

@@ -96,28 +96,51 @@ func (c *Card) rxDeliver(p *sim.Proc, pkt *Packet, arrival sim.Time) {
 	c.rxFinishJob(p, pkt.Job, arrival)
 }
 
+// rxWireLoss accounts bytes of a job that were lost on the wire toward
+// this card — the sender's injector found no usable link — and retires
+// the job if its last byte has now been seen, so receivers are never
+// left waiting on packets that can no longer arrive. Called from the
+// sender's injector context: one engine serializes both cards, so the
+// progress maps need no further protection.
+func (c *Card) rxWireLoss(pkt *Packet) {
+	c.rxDropped[pkt.Job.ID] += pkt.Bytes
+	if c.rxProgress[pkt.Job.ID]+c.rxDropped[pkt.Job.ID] >= pkt.Job.Bytes {
+		c.rxRetireIncomplete(pkt.Job)
+	}
+}
+
+// rxRetireIncomplete drains a job that can never complete: its progress
+// state is dropped, no RecvDone is raised, and the damage is counted in
+// CardStats.IncompleteRXJobs and traced.
+func (c *Card) rxRetireIncomplete(job *TXJob) {
+	delivered := c.rxProgress[job.ID]
+	dropped := c.rxDropped[job.ID]
+	delete(c.rxProgress, job.ID)
+	delete(c.rxDropped, job.ID)
+	c.stats.IncompleteRXJobs++
+	if c.Rec.Enabled() {
+		c.Rec.Emit(c.Eng.Now(), c.Name+".rx", "job_incomplete", int64(dropped),
+			fmt.Sprintf("job %d from rank %d: %v delivered, %v dropped", job.ID, job.srcRank, delivered, dropped))
+	}
+}
+
 // rxFinishJob retires a job once every byte has either been delivered or
 // dropped. Fully delivered messages raise RecvDone when both the firmware
-// work and the payload's DMA write have finished; messages with drops are
-// drained as incomplete — counted in CardStats.IncompleteRXJobs, traced,
-// and never completed.
+// work and the payload's DMA write have finished; messages with drops —
+// RX-side (no BUF_LIST match) or on the wire (dead link) — are drained
+// as incomplete instead.
 func (c *Card) rxFinishJob(p *sim.Proc, job *TXJob, arrival sim.Time) {
 	delivered := c.rxProgress[job.ID]
 	dropped := c.rxDropped[job.ID]
 	if delivered+dropped < job.Bytes {
 		return
 	}
-	delete(c.rxProgress, job.ID)
-	delete(c.rxDropped, job.ID)
-
 	if dropped > 0 {
-		c.stats.IncompleteRXJobs++
-		if c.Rec.Enabled() {
-			c.Rec.Emit(p.Now(), c.Name+".rx", "job_incomplete", int64(dropped),
-				fmt.Sprintf("job %d from rank %d: %v delivered, %v dropped", job.ID, job.srcRank, delivered, dropped))
-		}
+		c.rxRetireIncomplete(job)
 		return
 	}
+	delete(c.rxProgress, job.ID)
+	delete(c.rxDropped, job.ID)
 
 	// Firmware raises the completion event for the message; it is
 	// delivered when both the firmware work and the payload's DMA write

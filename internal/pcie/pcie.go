@@ -88,15 +88,10 @@ func NewChannel(eng *sim.Engine, name string, bw units.Bandwidth) *Channel {
 	return &Channel{eng: eng, name: name, bw: bw}
 }
 
-// reserve books d of channel time in the first idle gap at or after from.
-func (c *Channel) reserve(from sim.Time, d sim.Duration) (start, end sim.Time) {
-	if now := c.eng.Now(); from < now {
-		from = now
-	}
-	if d <= 0 {
-		return from, from
-	}
-	c.prune()
+// findSlot returns the earliest start for a burst of duration d at or
+// after from, and the index where its interval would be inserted. Pure
+// read of the busy list — reserve books the slot, Probe only looks.
+func (c *Channel) findSlot(from sim.Time, d sim.Duration) (start sim.Time, idx int) {
 	// Skip intervals that end at or before from.
 	i := 0
 	for i < len(c.busy) && c.busy[i].end <= from {
@@ -113,6 +108,19 @@ func (c *Channel) reserve(from sim.Time, d sim.Duration) (start, end sim.Time) {
 		}
 		i++
 	}
+	return start, i
+}
+
+// reserve books d of channel time in the first idle gap at or after from.
+func (c *Channel) reserve(from sim.Time, d sim.Duration) (start, end sim.Time) {
+	if now := c.eng.Now(); from < now {
+		from = now
+	}
+	if d <= 0 {
+		return from, from
+	}
+	c.prune()
+	start, i := c.findSlot(from, d)
 	end = start.Add(d)
 	c.busy = append(c.busy, interval{})
 	copy(c.busy[i+1:], c.busy[i:])
@@ -177,6 +185,23 @@ func (c *Channel) ReserveRaw(from sim.Time, n units.ByteSize) (start, end sim.Ti
 	start, end = c.reserve(from, units.TransferTime(n, c.bw))
 	c.wireBytes += int64(n)
 	return start, end
+}
+
+// Probe returns the earliest time a ReserveRaw of n bytes requested at
+// `from` would start on the wire, without booking anything — the same
+// gap-filling search as reserve (findSlot), read-only. Adaptive routing
+// uses it to compare the live backlog of candidate links before
+// committing to one.
+func (c *Channel) Probe(from sim.Time, n units.ByteSize) (start sim.Time) {
+	if now := c.eng.Now(); from < now {
+		from = now
+	}
+	d := units.TransferTime(n, c.bw)
+	if d <= 0 {
+		return from
+	}
+	start, _ = c.findSlot(from, d)
+	return start
 }
 
 // BusyTime returns the cumulative time the channel carried data.

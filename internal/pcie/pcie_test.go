@@ -258,3 +258,27 @@ func TestChannelGapFilling(t *testing.T) {
 		t.Fatalf("gap not used: got [%v,%v), far horizon at %v", s, e, farStart)
 	}
 }
+
+// Probe must predict exactly the start time the next ReserveRaw would
+// get — gap filling included — without changing channel state.
+func TestChannelProbeMatchesReserveRaw(t *testing.T) {
+	eng := sim.New()
+	ch := NewChannel(eng, "probe", units.Bandwidth(1e9))
+	// Seed a busy pattern with a gap between two bursts.
+	ch.ReserveRaw(0, 1000)
+	ch.ReserveRaw(sim.Time(3*sim.Microsecond), 1000)
+
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		from := sim.Time(rng.Intn(int(6 * sim.Microsecond)))
+		n := units.ByteSize(1 + rng.Intn(4000))
+		want := ch.Probe(from, n)
+		if again := ch.Probe(from, n); again != want {
+			t.Fatalf("Probe mutated channel state: %v then %v", want, again)
+		}
+		start, _ := ch.ReserveRaw(from, n)
+		if start != want {
+			t.Fatalf("iter %d: Probe(%v, %v) = %v, ReserveRaw started %v", i, from, n, want, start)
+		}
+	}
+}

@@ -120,7 +120,9 @@ func (ep *Endpoint) Put(p *sim.Proc, dstRank int, dstAddr uint64, src *Buffer, s
 		Bytes:   n,
 		Payload: flags.Payload,
 	}
-	ep.Card.Submit(p, job)
+	if err := ep.Card.Submit(p, job); err != nil {
+		return nil, err
+	}
 	return job, nil
 }
 

@@ -134,6 +134,58 @@ func (d Dims) Route(a, b Coord) []Dir {
 	return out
 }
 
+// FirstHop returns the first direction of the dimension-ordered route
+// from a to b, or ok=false when a == b. It is the hop-by-hop form of
+// Route: folding FirstHop with Neighbor reproduces the full route.
+func (d Dims) FirstHop(a, b Coord) (Dir, bool) {
+	if h, pos := step(a.X, b.X, d.X); h > 0 {
+		if pos {
+			return XPlus, true
+		}
+		return XMinus, true
+	}
+	if h, pos := step(a.Y, b.Y, d.Y); h > 0 {
+		if pos {
+			return YPlus, true
+		}
+		return YMinus, true
+	}
+	if h, pos := step(a.Z, b.Z, d.Z); h > 0 {
+		if pos {
+			return ZPlus, true
+		}
+		return ZMinus, true
+	}
+	return 0, false
+}
+
+// MinimalDirs returns every direction that moves a exactly one hop closer
+// to b — the candidate set an adaptive minimal router chooses from. In
+// each unfinished dimension the shorter wrap-around direction qualifies;
+// when an even-sized dimension is exactly half-way around both directions
+// are minimal and both are returned. Candidates appear in dimension order
+// with the positive direction first, so candidates[0] is always the
+// dimension-ordered route's own choice (FirstHop). Returns nil when a == b.
+func (d Dims) MinimalDirs(a, b Coord) []Dir {
+	var out []Dir
+	add := func(av, bv, n int, plus, minus Dir) {
+		delta := ((bv-av)%n + n) % n
+		if delta == 0 {
+			return
+		}
+		if delta <= n-delta {
+			out = append(out, plus)
+		}
+		if n-delta <= delta {
+			out = append(out, minus)
+		}
+	}
+	add(a.X, b.X, d.X, XPlus, XMinus)
+	add(a.Y, b.Y, d.Y, YPlus, YMinus)
+	add(a.Z, b.Z, d.Z, ZPlus, ZMinus)
+	return out
+}
+
 // HopCount returns the length of the dimension-ordered route.
 func (d Dims) HopCount(a, b Coord) int {
 	hx, _ := step(a.X, b.X, d.X)

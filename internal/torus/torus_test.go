@@ -80,6 +80,95 @@ func TestRouteArrivesProperty(t *testing.T) {
 	}
 }
 
+// Property, across torus shapes (odd, even, flat dimensions): every
+// Route result has length HopCount(a,b) and ends at b under Neighbor
+// folding.
+func TestRouteLengthAndArrivalAcrossShapes(t *testing.T) {
+	for _, d := range []Dims{{4, 2, 1}, {4, 4, 4}, {3, 5, 2}, {8, 8, 8}, {1, 1, 1}, {2, 2, 2}} {
+		f := func(ar, br uint16) bool {
+			a := d.CoordOf(int(ar) % d.Nodes())
+			b := d.CoordOf(int(br) % d.Nodes())
+			route := d.Route(a, b)
+			if len(route) != d.HopCount(a, b) {
+				return false
+			}
+			c := a
+			for _, dir := range route {
+				c = d.Neighbor(c, dir)
+			}
+			return c == b
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("dims %v: %v", d, err)
+		}
+	}
+}
+
+// Property: on even-sized dimensions the exactly-half-way wrap-around is
+// a tie, and Route must break it deterministically toward the positive
+// direction — every repetition included.
+func TestRouteEvenDimensionTieBreaksPositive(t *testing.T) {
+	d := Dims{4, 6, 8}
+	a := Coord{0, 0, 0}
+	b := Coord{2, 3, 4} // half-way around every ring
+	want := []Dir{XPlus, XPlus, YPlus, YPlus, YPlus, ZPlus, ZPlus, ZPlus, ZPlus}
+	for rep := 0; rep < 3; rep++ {
+		route := d.Route(a, b)
+		if len(route) != len(want) {
+			t.Fatalf("route = %v, want %v", route, want)
+		}
+		for i := range want {
+			if route[i] != want[i] {
+				t.Fatalf("tie not broken positive: route = %v, want %v", route, want)
+			}
+		}
+	}
+	// The ties also surface as two-sided candidate sets.
+	dirs := d.MinimalDirs(a, b)
+	want = []Dir{XPlus, XMinus, YPlus, YMinus, ZPlus, ZMinus}
+	if len(dirs) != len(want) {
+		t.Fatalf("MinimalDirs = %v, want %v", dirs, want)
+	}
+	for i := range want {
+		if dirs[i] != want[i] {
+			t.Fatalf("MinimalDirs = %v, want %v", dirs, want)
+		}
+	}
+}
+
+// Property: FirstHop equals Route[0], and every MinimalDirs candidate
+// moves exactly one hop closer with the dimension-ordered choice first.
+func TestFirstHopAndMinimalDirsProperties(t *testing.T) {
+	for _, d := range []Dims{{4, 2, 1}, {4, 4, 2}, {3, 3, 3}, {2, 2, 2}} {
+		f := func(ar, br uint16) bool {
+			a := d.CoordOf(int(ar) % d.Nodes())
+			b := d.CoordOf(int(br) % d.Nodes())
+			dir, ok := d.FirstHop(a, b)
+			route := d.Route(a, b)
+			if ok != (len(route) > 0) || (ok && dir != route[0]) {
+				return false
+			}
+			cands := d.MinimalDirs(a, b)
+			if (len(cands) == 0) != (a == b) {
+				return false
+			}
+			if len(cands) > 0 && cands[0] != route[0] {
+				return false // dimension-ordered choice must come first
+			}
+			h := d.HopCount(a, b)
+			for _, c := range cands {
+				if d.HopCount(d.Neighbor(a, c), b) != h-1 {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+			t.Errorf("dims %v: %v", d, err)
+		}
+	}
+}
+
 // Property: hop count is symmetric and respects the diameter.
 func TestHopCountProperties(t *testing.T) {
 	d := Dims{4, 2, 1}
