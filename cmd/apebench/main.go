@@ -56,8 +56,11 @@ func parseDims(s string) (torus.Dims, error) {
 
 // listExperiments prints the registry as a stable aligned table: ID,
 // paper exhibit, title. The same rows, in the same order, appear in
-// docs/EXPERIMENTS.md — the binary is the source of truth.
-func listExperiments() {
+// docs/EXPERIMENTS.md — the binary is the source of truth. With grouped
+// set, experiments are printed in family blocks (paper exhibits, then
+// abl-*, rx-*, coll-*, route-*, get-*, ... in first-appearance order) so
+// the catalog stays readable as it grows.
+func listExperiments(grouped bool) {
 	exps := bench.All()
 	idW, exW := len("ID"), len("EXHIBIT")
 	for _, e := range exps {
@@ -68,15 +71,50 @@ func listExperiments() {
 			exW = len(e.Exhibit)
 		}
 	}
-	fmt.Printf("%-*s  %-*s  %s\n", idW, "ID", exW, "EXHIBIT", "TITLE")
-	for _, e := range exps {
+	row := func(e bench.Experiment) {
 		fmt.Printf("%-*s  %-*s  %s\n", idW, e.ID, exW, e.Exhibit, e.Title)
+	}
+	fmt.Printf("%-*s  %-*s  %s\n", idW, "ID", exW, "EXHIBIT", "TITLE")
+	if !grouped {
+		for _, e := range exps {
+			row(e)
+		}
+	} else {
+		var families []string
+		byFamily := map[string][]bench.Experiment{}
+		for _, e := range exps {
+			f := family(e.ID)
+			if _, seen := byFamily[f]; !seen {
+				families = append(families, f)
+			}
+			byFamily[f] = append(byFamily[f], e)
+		}
+		for _, f := range families {
+			fmt.Printf("\n-- %s --\n", f)
+			for _, e := range byFamily[f] {
+				row(e)
+			}
+		}
 	}
 	fmt.Println("\ncatalog with expected headline numbers: docs/EXPERIMENTS.md")
 }
 
+// family buckets an experiment ID for the grouped listing: the paper's
+// figures and tables form one block, every dashed prefix (abl-, rx-,
+// coll-, route-, get-, ...) its own.
+func family(id string) string {
+	if strings.HasPrefix(id, "fig") || strings.HasPrefix(id, "table") {
+		return "paper exhibits"
+	}
+	if i := strings.Index(id, "-"); i > 0 {
+		return id[:i] + "-*"
+	}
+	return id
+}
+
 func main() {
 	list := flag.Bool("list", false, "list experiment IDs (with paper exhibits) and exit; full catalog in docs/EXPERIMENTS.md")
+	group := flag.Bool("group", false, "with -list: print experiments in family blocks (paper, abl-*, rx-*, coll-*, route-*, get-*)")
 	run := flag.String("run", "", "comma-separated experiment IDs, globs or prefixes to run (e.g. fig7 or coll-*)")
 	all := flag.Bool("all", false, "run every experiment")
 	quick := flag.Bool("quick", false, "reduced sweeps / problem sizes")
@@ -93,7 +131,7 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		listExperiments()
+		listExperiments(*group)
 		return
 	}
 

@@ -43,7 +43,8 @@ type Options struct {
 	// routing engine (see internal/route); the zero value keeps the
 	// paper's dimension-ordered router. Set from apebench's -router flag
 	// and recorded in the run JSON; the routing experiments (route-* and
-	// coll-a2a-adaptive) compare routers explicitly and ignore it.
+	// coll-a2a-adaptive) compare routers explicitly and ignore it, and
+	// get-degraded always runs the fault-aware router its scenario needs.
 	Router route.Mode
 	// HotLinks, when positive, makes the experiments that drive collective
 	// torus traffic (the coll-* and route-* families) record their top-N
@@ -124,6 +125,9 @@ func All() []Experiment {
 		{"route-hotspot", "Adaptive vs dimension-order routing under a transpose hotspot", "routing", RouteHotspot},
 		{"route-degraded", "Allreduce on a degrading torus: fault-aware routing around dead links", "routing", RouteDegraded},
 		{"coll-a2a-adaptive", "All-to-all hot-link spread: dimension-order vs adaptive", "routing", CollAllToAllAdaptive},
+		{"get-lat", "GET round trip vs PUT latency across buffer paths", "rdma-get", GetLat},
+		{"get-bw", "Pipelined GET bandwidth vs outstanding-request window", "rdma-get", GetBW},
+		{"get-degraded", "GETs over cut cables: request vs reply detours, isolated responder refused", "rdma-get", GetDegraded},
 	}
 }
 

@@ -1,0 +1,323 @@
+package bench
+
+import (
+	"fmt"
+
+	"apenetsim/internal/cluster"
+	"apenetsim/internal/core"
+	"apenetsim/internal/rdma"
+	"apenetsim/internal/route"
+	"apenetsim/internal/sim"
+	"apenetsim/internal/torus"
+	"apenetsim/internal/units"
+)
+
+// The get-* experiments exercise the RDMA GET request/response engine
+// (internal/core get.go) — the remote-read capability the APEnet+
+// follow-up cards add on top of the paper's PUT-only API:
+//
+//   - get-lat: GET round-trip latency against the PUT alternatives on the
+//     same path. A GET crosses the torus twice (request out, reply back),
+//     so it must cost more than a one-way PUT; the interesting comparison
+//     is against PUT+ack — the two-sided round trip an application needs
+//     when it cannot use one-sided reads.
+//   - get-bw: pipelined GETs against the outstanding-request window. One
+//     GET at a time is round-trip-bound; widening the window overlaps
+//     request crossings with reply streams until the receive path (the
+//     same RX ceiling that binds PUT streams) saturates.
+//   - get-degraded: GETs across cut cables under fault-aware routing. The
+//     two crossings detour independently and are counted on the card that
+//     injected each leg — request detours on the requester, reply detours
+//     on the responder — and an isolated responder is refused
+//     synchronously at submit, like a PUT's ENETUNREACH.
+
+// TwoNodeGetLatency measures the full GET round-trip time — submit to
+// GetDone — between torus neighbors: the local (requester) buffer of
+// localKind is filled from the remote (responder) buffer of remoteKind.
+func TwoNodeGetLatency(cfg core.Config, localKind, remoteKind core.MemKind, msg units.ByteSize, iters int) sim.Duration {
+	eng := sim.NewWithAccount(cfg.Account)
+	defer eng.Shutdown()
+	cl, err := cluster.TwoNodes(eng, nil, cfg, 0)
+	must(err)
+	reqNode, rspNode := cl.Nodes[0], cl.Nodes[1]
+	epQ := rdma.NewEndpoint(reqNode.Card)
+	epR := rdma.NewEndpoint(rspNode.Card)
+	warm := 8
+	var lat sim.Duration
+
+	ready := sim.NewSignal(eng)
+	var src *rdma.Buffer
+	eng.Go("responder", func(p *sim.Proc) {
+		// The responder only registers its buffer; GET needs no further
+		// participation from its host process.
+		src = newBuffer(p, epR, rspNode.GPU(0), remoteKind, msg)
+		ready.Broadcast()
+	})
+	eng.Go("requester", func(p *sim.Proc) {
+		dst := newBuffer(p, epQ, reqNode.GPU(0), localKind, msg)
+		for src == nil {
+			ready.Wait(p, "bench.get.ready")
+		}
+		rtt := func() {
+			_, err := epQ.GetBuffer(p, 1, src, dst, msg, rdma.GetFlags{})
+			must(err)
+			epQ.WaitGet(p)
+		}
+		for i := 0; i < warm; i++ {
+			rtt()
+		}
+		start := p.Now()
+		for i := 0; i < iters; i++ {
+			rtt()
+		}
+		lat = p.Now().Sub(start) / sim.Duration(iters)
+	})
+	eng.Run()
+	return lat
+}
+
+// TwoNodeGetBW measures the aggregate bandwidth of count pipelined GETs
+// of msg bytes with the outstanding-request table capped at window,
+// returning the achieved rate and the table's high-water mark.
+func TwoNodeGetBW(cfg core.Config, window int, msg units.ByteSize, count int) (units.Bandwidth, int64) {
+	cfg.MaxOutstandingGets = window
+	eng := sim.NewWithAccount(cfg.Account)
+	defer eng.Shutdown()
+	cl, err := cluster.TwoNodes(eng, nil, cfg, 0)
+	must(err)
+	reqNode, rspNode := cl.Nodes[0], cl.Nodes[1]
+	epQ := rdma.NewEndpoint(reqNode.Card)
+	epR := rdma.NewEndpoint(rspNode.Card)
+	warm := 4
+	var bw units.Bandwidth
+
+	ready := sim.NewSignal(eng)
+	var src *rdma.Buffer
+	eng.Go("responder", func(p *sim.Proc) {
+		src = newBuffer(p, epR, rspNode.GPU(0), core.HostMem, msg)
+		ready.Broadcast()
+	})
+	eng.Go("requester", func(p *sim.Proc) {
+		dst := newBuffer(p, epQ, reqNode.GPU(0), core.HostMem, msg)
+		for src == nil {
+			ready.Wait(p, "bench.get.ready")
+		}
+		for i := 0; i < warm; i++ {
+			_, err := epQ.GetBuffer(p, 1, src, dst, msg, rdma.GetFlags{})
+			must(err)
+		}
+		epQ.DrainGets(p, warm)
+		start := p.Now()
+		// Keep the window constantly full, the GET-side analogue of the
+		// paper's "transmission queue constantly full" PUT loop: Get
+		// blocks on a window slot, completions drain behind it.
+		for i := 0; i < count; i++ {
+			_, err := epQ.GetBuffer(p, 1, src, dst, msg, rdma.GetFlags{})
+			must(err)
+		}
+		epQ.DrainGets(p, count)
+		bw = units.Rate(units.ByteSize(count)*msg, p.Now().Sub(start))
+	})
+	eng.Run()
+	return bw, reqNode.Card.Stats().OutstandingGetsPeak
+}
+
+// GetLat compares the GET round trip against the PUT alternatives for
+// every buffer path: H<-H (host pulls host), H<-G (host pulls GPU
+// memory — the read-side GPU-P2P path), G<-G.
+func GetLat(o Options) *Report {
+	sizes := sweepSizes(o, 32, 4*units.KB)
+	cfg := o.config()
+	iters := 60
+	if o.Quick {
+		iters = 24
+	}
+	paths := []struct {
+		label         string
+		local, remote core.MemKind
+	}{
+		{"H<-H", core.HostMem, core.HostMem},
+		{"H<-G", core.HostMem, core.GPUMem},
+		{"G<-G", core.GPUMem, core.GPUMem},
+	}
+	var rows [][]string
+	for _, msg := range sizes {
+		for _, pt := range paths {
+			// The PUT moving the same bytes the same way sources the
+			// remote kind and lands in the local kind.
+			putOneWay := TwoNodeLatency(cfg, pt.remote, pt.local, msg, iters)
+			getRTT := TwoNodeGetLatency(cfg, pt.local, pt.remote, msg, iters)
+			rows = append(rows, []string{
+				msg.String(), pt.label,
+				f1(putOneWay.Micros()),
+				f1((2 * putOneWay).Micros()),
+				f1(getRTT.Micros()),
+				f2(float64(getRTT) / float64(putOneWay)),
+			})
+		}
+	}
+	return &Report{ID: "get-lat", Title: "GET round trip vs PUT latency (two nodes, local<-remote paths)",
+		Header: []string{"msg", "path", "PUT 1-way", "PUT+ack rtt", "GET rtt", "GET/PUT 1-way"},
+		Units:  []string{"", "", "us", "us", "us", "x"},
+		Rows:   rows,
+		Notes: []string{
+			"GET crosses the torus twice (request + reply), so its round trip strictly exceeds the one-way PUT on the same path",
+			"PUT+ack rtt = 2x the one-way latency: the two-sided round trip an application pays when it cannot read remotely",
+			"H<-G pulls GPU memory through the responder's GPU_P2P read engine without any responder-side software",
+		}}
+}
+
+// GetBW sweeps the outstanding-request window: bandwidth climbs as
+// request crossings overlap reply streams, until the receive path
+// saturates at the same RX ceiling that binds a PUT stream.
+func GetBW(o Options) *Report {
+	cfg := o.config()
+	// Two regimes: single-packet reads are round-trip-bound and need a
+	// deep window; large reads carry a self-pipelining reply stream and
+	// saturate almost immediately.
+	msgs := []units.ByteSize{4 * units.KB, 128 * units.KB}
+	windows := []int{1, 2, 4, 8, 16, 32}
+	count := func(msg units.ByteSize) int {
+		n := 128
+		if msg >= 128*units.KB {
+			n = 64
+		}
+		if o.Quick {
+			n /= 2
+		}
+		return n
+	}
+	var rows [][]string
+	for _, msg := range msgs {
+		putBW := TwoNodeBW(cfg, core.HostMem, core.HostMem, msg)
+		for _, w := range windows {
+			bw, peak := TwoNodeGetBW(cfg, w, msg, count(msg))
+			rows = append(rows, []string{
+				msg.String(), fmt.Sprint(w), f0(bw.MBpsValue()), fmt.Sprint(peak),
+				f2(bw.MBpsValue() / putBW.MBpsValue()),
+			})
+		}
+	}
+	return &Report{ID: "get-bw", Title: "Pipelined GET bandwidth vs outstanding-request window (H<-H)",
+		Header: []string{"msg", "window", "bandwidth", "peak outstanding", "vs PUT stream"},
+		Units:  []string{"", "", "MB/s", "", "x"},
+		Rows:   rows,
+		Notes: []string{
+			"window=1 is round-trip-bound; widening the window overlaps request crossings with reply streams until the RX path saturates",
+			"'vs PUT stream' compares against a PUT pipeline of the same message size on the same path (1.0 = GET reaches the push-mode ceiling)",
+		}}
+}
+
+// GetDegraded runs GETs between torus neighbors while their direct cable
+// is cut: fault-aware routing detours the request and the reply
+// independently (counted on the card that injected each leg), and an
+// isolated responder is refused synchronously.
+func GetDegraded(o Options) *Report {
+	dims := torus.Dims{X: 4, Y: 2, Z: 2}
+	msg := units.ByteSize(64 * units.KB)
+	gets := 8
+	if o.Quick {
+		gets = 4
+	}
+	cfg := o.config()
+	cfg.Routing = route.Config{Mode: route.ModeFaultAware, Seed: o.Seed}
+
+	// Requester (0,0,0) pulls from its X+ neighbor (1,0,0): with the
+	// direct cable cut, the request and the reply must each detour.
+	reqCoord := torus.Coord{X: 0, Y: 0, Z: 0}
+	rspCoord := torus.Coord{X: 1, Y: 0, Z: 0}
+	rspRank := dims.Rank(rspCoord)
+
+	buildTorus := func(eng *sim.Engine) *cluster.Cluster {
+		cl, err := cluster.New(eng, nil, dims, dims.Nodes(), func(i int) cluster.NodeConfig {
+			return cluster.NodeConfig{Card: &cfg}
+		})
+		must(err)
+		return cl
+	}
+
+	runScenario := func(prepare func(net *core.Network)) (elapsed sim.Duration, reqDetours, rspDetours, errs int64) {
+		eng := sim.NewWithAccount(o.Account)
+		defer eng.Shutdown()
+		cl := buildTorus(eng)
+		prepare(cl.Net)
+		reqCard := cl.Net.Card(dims.Rank(reqCoord))
+		rspCard := cl.Net.Card(rspRank)
+		epQ := rdma.NewEndpoint(reqCard)
+		epR := rdma.NewEndpoint(rspCard)
+
+		ready := sim.NewSignal(eng)
+		var src *rdma.Buffer
+		eng.Go("responder", func(p *sim.Proc) {
+			src = newBuffer(p, epR, nil, core.HostMem, msg)
+			ready.Broadcast()
+		})
+		eng.Go("requester", func(p *sim.Proc) {
+			dst := newBuffer(p, epQ, nil, core.HostMem, msg)
+			for src == nil {
+				ready.Wait(p, "bench.get.ready")
+			}
+			start := p.Now()
+			for i := 0; i < gets; i++ {
+				_, err := epQ.GetBuffer(p, rspRank, src, dst, msg, rdma.GetFlags{})
+				must(err)
+			}
+			for i := 0; i < gets; i++ {
+				if c := epQ.WaitGet(p); c.Err != "" {
+					errs++
+				}
+			}
+			elapsed = p.Now().Sub(start)
+		})
+		eng.Run()
+		return elapsed, reqCard.Stats().RoutedAroundJobs, rspCard.Stats().RoutedAroundJobs, errs
+	}
+
+	rep := &Report{ID: "get-degraded",
+		Title:  fmt.Sprintf("GETs on a degrading %v torus (fault-aware routing, %d x %v reads)", dims, gets, msg),
+		Header: []string{"scenario", "makespan", "rate", "request detour jobs", "reply detour jobs", "errors"},
+		Units:  []string{"", "us", "MB/s", "", "", ""},
+	}
+	total := units.ByteSize(gets) * msg
+	for _, sc := range []struct {
+		label   string
+		prepare func(net *core.Network)
+	}{
+		{"healthy", func(*core.Network) {}},
+		{"direct cable cut", func(net *core.Network) { net.CutCable(reqCoord, torus.XPlus) }},
+	} {
+		elapsed, reqDetours, rspDetours, errs := runScenario(sc.prepare)
+		rep.Rows = append(rep.Rows, []string{
+			sc.label,
+			f1(elapsed.Micros()), f0(units.Rate(total, elapsed).MBpsValue()),
+			fmt.Sprint(reqDetours), fmt.Sprint(rspDetours), fmt.Sprint(errs),
+		})
+	}
+
+	// Isolation: a responder cut off entirely is refused synchronously at
+	// submit — an error from the GET, not a hang.
+	eng := sim.NewWithAccount(o.Account)
+	cl := buildTorus(eng)
+	cl.Net.IsolateNode(rspCoord)
+	var getErr error
+	eng.Go("requester", func(p *sim.Proc) {
+		ep := rdma.NewEndpoint(cl.Net.Card(dims.Rank(reqCoord)))
+		dst := newBuffer(p, ep, nil, core.HostMem, msg)
+		_, getErr = ep.Get(p, rspRank, 0x1000, dst, 0, msg, rdma.GetFlags{})
+	})
+	eng.Run()
+	eng.Shutdown()
+	if getErr == nil {
+		panic("get-degraded: GET toward an isolated responder succeeded")
+	}
+	rep.Rows = append(rep.Rows, []string{"responder isolated", "refused", "-", "-", "-", "1"})
+
+	rep.Notes = []string{
+		"request detours are counted on the requester card, reply detours on the responder card: the two torus crossings route independently",
+		"with the direct cable cut every GET detours both ways, yet all reads complete and verify",
+		fmt.Sprintf("isolated responder refused synchronously: %v", getErr),
+	}
+	rep.SetMeta("dims", dims.String())
+	rep.SetMeta("msg", msg.String())
+	return rep
+}

@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"strconv"
+	"testing"
+
+	"apenetsim/internal/core"
+	"apenetsim/internal/units"
+)
+
+// Acceptance: a GET's round trip must strictly exceed the one-way PUT
+// latency on the same size and path — it crosses the torus twice.
+func TestGetRTTExceedsOneWayPut(t *testing.T) {
+	cfg := core.DefaultConfig()
+	paths := []struct {
+		label         string
+		local, remote core.MemKind
+	}{
+		{"H<-H", core.HostMem, core.HostMem},
+		{"H<-G", core.HostMem, core.GPUMem},
+		{"G<-G", core.GPUMem, core.GPUMem},
+	}
+	for _, msg := range []units.ByteSize{32, 4 * units.KB} {
+		for _, pt := range paths {
+			put := TwoNodeLatency(cfg, pt.remote, pt.local, msg, 16)
+			get := TwoNodeGetLatency(cfg, pt.local, pt.remote, msg, 16)
+			if get <= put {
+				t.Errorf("%s %v: GET rtt %v <= PUT one-way %v", pt.label, msg, get, put)
+			}
+			// ...but one-sidedness keeps it under the two-sided PUT+ack
+			// round trip (the request crossing is a bare control message).
+			if get >= 2*put {
+				t.Errorf("%s %v: GET rtt %v >= PUT+ack %v", pt.label, msg, get, 2*put)
+			}
+		}
+	}
+}
+
+// Acceptance: pipelined GET bandwidth must rise with the
+// outstanding-request window until the receive path saturates, and stay
+// there for deeper windows.
+func TestGetBandwidthRisesWithWindow(t *testing.T) {
+	cfg := core.DefaultConfig()
+	msg := units.ByteSize(4 * units.KB)
+	var prev units.Bandwidth
+	for i, w := range []int{1, 2, 4} {
+		bw, peak := TwoNodeGetBW(cfg, w, msg, 64)
+		if peak != int64(w) {
+			t.Errorf("window %d: peak outstanding %d, want the window fully used", w, peak)
+		}
+		if i > 0 && bw <= prev {
+			t.Errorf("window %d: bandwidth %v did not rise over %v", w, bw, prev)
+		}
+		prev = bw
+	}
+	// Past saturation the ceiling holds (within a hair of the window-4
+	// point) and approaches the PUT stream on the same path.
+	sat, _ := TwoNodeGetBW(cfg, 32, msg, 64)
+	if float64(sat) < 0.99*float64(prev) {
+		t.Errorf("deep window regressed: %v < %v", sat, prev)
+	}
+	if put := TwoNodeBW(cfg, core.HostMem, core.HostMem, msg); float64(sat) < 0.5*float64(put) {
+		t.Errorf("saturated GET bandwidth %v below half the PUT stream %v", sat, put)
+	}
+}
+
+// Acceptance: get-degraded completes with nonzero detours on both
+// crossings when the direct cable is cut, and refuses an isolated
+// responder synchronously.
+func TestGetDegradedReport(t *testing.T) {
+	rep := GetDegraded(Options{Quick: true})
+	if len(rep.Rows) != 3 {
+		t.Fatalf("rows = %d, want healthy/cut/isolated", len(rep.Rows))
+	}
+	healthy, cut, isolated := rep.Rows[0], rep.Rows[1], rep.Rows[2]
+	if healthy[3] != "0" || healthy[4] != "0" || healthy[5] != "0" {
+		t.Fatalf("healthy run detoured or errored: %v", healthy)
+	}
+	reqDet, err1 := strconv.Atoi(cut[3])
+	rspDet, err2 := strconv.Atoi(cut[4])
+	if err1 != nil || err2 != nil || reqDet == 0 || rspDet == 0 {
+		t.Fatalf("cut-cable run must detour on both crossings: %v", cut)
+	}
+	if cut[5] != "0" {
+		t.Fatalf("cut-cable run errored: %v", cut)
+	}
+	if isolated[1] != "refused" {
+		t.Fatalf("isolated responder row: %v", isolated)
+	}
+}

@@ -302,3 +302,55 @@ func TestWorldScales(t *testing.T) {
 		t.Errorf("active links = %d, want %d (every directed link used)", got, 6*dims.Nodes())
 	}
 }
+
+// HaloPull must fetch one face per usable direction on every rank —
+// skipping size-1 dimensions — with all payload bytes pulled through the
+// GET engine and no rank deadlocking on its neighbors.
+func TestHaloPullFetchesAllFaces(t *testing.T) {
+	dims := torus.Dims{X: 4, Y: 2, Z: 1} // Z is size 1: four usable faces
+	eng, w := newTestWorld(t, dims, core.HostMem)
+	defer eng.Shutdown()
+	const face = 32 * units.KB
+
+	faces := make([]map[torus.Dir]core.Completion, dims.Nodes())
+	w.Run(func(p *sim.Proc, r *Rank) {
+		faces[r.ID] = r.HaloPull(p, face)
+	})
+
+	for id, got := range faces {
+		if len(got) != 4 {
+			t.Fatalf("rank %d pulled %d faces, want 4 (Z faces skipped)", id, len(got))
+		}
+		for dir, comp := range got {
+			peer := dims.Rank(dims.Neighbor(dims.CoordOf(id), dir))
+			if comp.SrcRank != peer || comp.Bytes != face || comp.Err != "" {
+				t.Fatalf("rank %d dir %v: completion %+v, want %v from rank %d", id, dir, comp, face, peer)
+			}
+		}
+		st := w.Ranks[id].node.Card.Stats()
+		if st.GetRequests != 4 || st.GetBytes != 4*int64(face) || st.GetErrors != 0 {
+			t.Fatalf("rank %d GET stats: %+v", id, st)
+		}
+	}
+}
+
+// A pull halo on a GPU-buffer world must move every face through the
+// responder GPUs' peer-to-peer read engines.
+func TestHaloPullGPUWorld(t *testing.T) {
+	dims := torus.Dims{X: 2, Y: 2, Z: 1}
+	eng, w := newTestWorld(t, dims, core.GPUMem)
+	defer eng.Shutdown()
+	const face = 16 * units.KB
+
+	w.Run(func(p *sim.Proc, r *Rank) {
+		if got := r.HaloPull(p, face); len(got) != 4 {
+			t.Errorf("rank %d pulled %d faces, want 4", r.ID, len(got))
+		}
+	})
+
+	for _, rk := range w.Ranks {
+		if got := rk.node.GPU(0).Statistics().P2PReadBytes; got < 4*int64(face) {
+			t.Fatalf("rank %d GPU served %d P2P read bytes, want >= %d", rk.ID, got, 4*face)
+		}
+	}
+}

@@ -1,6 +1,10 @@
 package coll
 
 import (
+	"fmt"
+
+	"apenetsim/internal/core"
+	"apenetsim/internal/rdma"
 	"apenetsim/internal/sim"
 	"apenetsim/internal/torus"
 	"apenetsim/internal/units"
@@ -63,6 +67,51 @@ func (r *Rank) Halo(p *sim.Proc, faceBytes units.ByteSize, vals []float64) map[t
 		out[f.dir] = r.get(p, base|uint64(f.dir.Opposite()), f.peer)
 	}
 	r.drainSends(p)
+	return out
+}
+
+// HaloPull performs the face-neighbor exchange in pull mode: instead of
+// PUTting its faces out, each rank GETs every neighbor's face straight
+// out of the neighbor's send slot — one one-sided read per direction,
+// all outstanding at once, completing on the GET CQ. The received face
+// for direction dir lands at offset dir*faceBytes of the rank's receive
+// slot. Unlike Halo, no value vector rides along (GET reads raw remote
+// memory, there is no responder-side payload), so pull mode is the
+// timing-only variant; it needs no tag matching and no SPMD call
+// alignment beyond the neighbors' buffers being registered — which
+// World.Run guarantees before any body starts.
+//
+// Every GET crosses the torus twice (request out, reply back), so a pull
+// halo moves the same payload bytes as a push halo plus six request
+// headers, and its completion time includes the request crossing — the
+// price of not needing the neighbor to act.
+func (r *Rank) HaloPull(p *sim.Proc, faceBytes units.ByteSize) map[torus.Dir]core.Completion {
+	if faceBytes < 1 {
+		faceBytes = 1
+	}
+	if faceBytes*units.ByteSize(torus.NumDirs) > r.w.Cfg.SlotBytes {
+		panic(fmt.Sprintf("coll: %d pull faces of %v exceed slot %v", torus.NumDirs, faceBytes, r.w.Cfg.SlotBytes))
+	}
+	d := r.w.Dims
+	issued := 0
+	for dir := torus.Dir(0); dir < torus.NumDirs; dir++ {
+		peer := d.Rank(d.Neighbor(r.Coord, dir))
+		if peer == r.ID {
+			continue
+		}
+		_, err := r.ep.Get(p, peer, r.w.Ranks[peer].send.Addr, r.recv,
+			int64(dir)*int64(faceBytes), faceBytes, rdma.GetFlags{Payload: dir})
+		must(err)
+		issued++
+	}
+	out := make(map[torus.Dir]core.Completion, issued)
+	for i := 0; i < issued; i++ {
+		comp := r.ep.WaitGet(p)
+		if comp.Err != "" {
+			panic("coll: halo pull failed: " + comp.Err)
+		}
+		out[comp.Payload.(torus.Dir)] = comp
+	}
 	return out
 }
 

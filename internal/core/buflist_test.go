@@ -71,6 +71,66 @@ func TestBufListMatchesLinearScan(t *testing.T) {
 	}
 }
 
+// TestBufListUnregisterRebuildsIndex pins Lookup correctness after
+// interleaved Register/Unregister on a crafted layout: overlapping and
+// nested entries, and an unregistration that must rebuild the maxEnd
+// prefix maxima — the entry removed is the one whose large end was
+// masking later-starting entries. A stale prefix would either terminate
+// the backward scan too early (missing a hit) or keep reporting
+// containment that no longer exists. The GET responder's validate stage
+// leans on exactly this path for every remote read.
+func TestBufListUnregisterRebuildsIndex(t *testing.T) {
+	bl := &BufList{}
+	wide := &BufEntry{Addr: 0x1000, Size: 0x9000, Kind: HostMem}  // [0x1000, 0xa000): dominates the prefix maxima
+	left := &BufEntry{Addr: 0x2000, Size: 0x1000, Kind: HostMem}  // [0x2000, 0x3000): nested in wide
+	right := &BufEntry{Addr: 0x8000, Size: 0x1000, Kind: HostMem} // [0x8000, 0x9000): nested in wide's tail
+	for _, e := range []*BufEntry{wide, left, right} {
+		bl.Register(e)
+	}
+
+	// While wide is live it wins every contained range (first registered).
+	if e, scanned, ok := bl.Lookup(0x8800, 16); !ok || e != wide || scanned != 1 {
+		t.Fatalf("with wide live: (%v,%d,%v)", e, scanned, ok)
+	}
+
+	// Removing wide forces the prefix maxima from its slot onward to be
+	// recomputed: right must now be found even though every entry at or
+	// left of it starts below the probe address.
+	if !bl.Unregister(wide) {
+		t.Fatal("unregister wide")
+	}
+	if e, scanned, ok := bl.Lookup(0x8800, 16); !ok || e != right || scanned != 2 {
+		t.Fatalf("after wide removed: (%v,%d,%v), want right at scan position 2", e, scanned, ok)
+	}
+	// The gap wide used to cover is a miss again, with the full list as
+	// the firmware's failed scan length.
+	if _, scanned, ok := bl.Lookup(0x4000, 16); ok || scanned != 2 {
+		t.Fatalf("gap lookup after wide removed: scanned %d, ok %v", scanned, ok)
+	}
+	// left's registration index shifted down; a hit on it reports the
+	// post-compaction scan position.
+	if e, scanned, ok := bl.Lookup(0x2000, 0x1000); !ok || e != left || scanned != 1 {
+		t.Fatalf("left after compaction: (%v,%d,%v)", e, scanned, ok)
+	}
+
+	// Interleave: re-register a fresh wide (now last), drop right, and
+	// check precedence follows registration order, not address order.
+	wide2 := &BufEntry{Addr: 0x1800, Size: 0x8000, Kind: HostMem} // [0x1800, 0x9800)
+	bl.Register(wide2)
+	if e, _, ok := bl.Lookup(0x8800, 16); !ok || e != right {
+		t.Fatalf("right registered before wide2 must still win: %v", e)
+	}
+	if !bl.Unregister(right) {
+		t.Fatal("unregister right")
+	}
+	if e, scanned, ok := bl.Lookup(0x8800, 16); !ok || e != wide2 || scanned != 2 {
+		t.Fatalf("after right removed: (%v,%d,%v), want wide2", e, scanned, ok)
+	}
+	if bl.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", bl.Len())
+	}
+}
+
 func TestBufListOverlapPrefersFirstRegistered(t *testing.T) {
 	bl := &BufList{}
 	outer := &BufEntry{Addr: 0x1000, Size: 0x4000, Kind: HostMem}

@@ -31,14 +31,32 @@ type Card struct {
 	BufList *BufList
 
 	// SendCQ receives SendDone completions, RecvCQ receives RecvDone
-	// completions (unbounded: completion queues live in host memory).
+	// completions, GetCQ receives GetDone completions (unbounded:
+	// completion queues live in host memory).
 	SendCQ *sim.Queue[Completion]
 	RecvCQ *sim.Queue[Completion]
+	GetCQ  *sim.Queue[Completion]
 
 	txq     *sim.Queue[*TXJob]
 	injectQ *sim.Queue[*Packet]
 	txFIFO  *sim.ByteFIFO
 	rxQ     *sim.Queue[*Packet]
+
+	// getReplyQ decouples the RX engine from TX backpressure: the RX
+	// stage hands validated GET replies to the responder process, which
+	// alone blocks on TX queue space. Without it, two cards GETting from
+	// each other could deadlock (RX blocked on a full TX queue on both
+	// sides, each TX waiting for the other's RX to drain credits).
+	getReplyQ *sim.Queue[*TXJob]
+
+	// getWindow is the outstanding-request table's capacity: SubmitGet
+	// acquires a slot (blocking when the table is full) and completion —
+	// success or error — releases it.
+	getWindow *sim.Semaphore
+	// outstandingGets maps reqID -> in-flight GET, matching replies back
+	// to their requests whatever order responders answer in.
+	outstandingGets map[uint64]*GetJob
+	nextReqID       uint64
 
 	// niosTXQ carries deferred per-packet firmware work (source V2P) that
 	// runs concurrently with the hardware TX engines but steals Nios time
@@ -94,6 +112,17 @@ type CardStats struct {
 	RoutedAroundJobs   int64
 	UnreachableJobs    int64
 	UnroutablePackets  int64
+
+	// GET requester-side counters (see get.go). GetRequests counts GETs
+	// this card issued (including ones later refused or failed); GetBytes
+	// is the payload volume successfully pulled in; GetErrors counts GETs
+	// completed with an error — synchronous refusals, responder error
+	// replies, and replies lost to dead links; OutstandingGetsPeak is the
+	// high-water mark of the outstanding-request table.
+	GetRequests         int64
+	GetBytes            int64
+	GetErrors           int64
+	OutstandingGetsPeak int64
 }
 
 // NewCard creates a card on a node's PCIe fabric and registers it in the
@@ -121,12 +150,16 @@ func NewCard(eng *sim.Engine, cfg Config, rec *trace.Recorder, name string,
 
 		SendCQ: sim.NewQueue[Completion](eng, name+".sendcq", 0),
 		RecvCQ: sim.NewQueue[Completion](eng, name+".recvcq", 0),
+		GetCQ:  sim.NewQueue[Completion](eng, name+".getcq", 0),
 
-		txq:     sim.NewQueue[*TXJob](eng, name+".txq", 64),
-		injectQ: sim.NewQueue[*Packet](eng, name+".injq", 0),
-		txFIFO:  sim.NewByteFIFO(eng, name+".txfifo", int64(cfg.TXFIFOBytes)),
-		rxQ:     sim.NewQueue[*Packet](eng, name+".rxq", 0),
-		niosTXQ: sim.NewQueue[sim.Duration](eng, name+".niostxq", 0),
+		txq:       sim.NewQueue[*TXJob](eng, name+".txq", 64),
+		injectQ:   sim.NewQueue[*Packet](eng, name+".injq", 0),
+		txFIFO:    sim.NewByteFIFO(eng, name+".txfifo", int64(cfg.TXFIFOBytes)),
+		rxQ:       sim.NewQueue[*Packet](eng, name+".rxq", 0),
+		niosTXQ:   sim.NewQueue[sim.Duration](eng, name+".niostxq", 0),
+		getReplyQ: sim.NewQueue[*TXJob](eng, name+".getrspq", 0),
+
+		outstandingGets: make(map[uint64]*GetJob),
 
 		switchCh: pcie.NewChannel(eng, name+".switch", cfg.SwitchBandwidth),
 		loopCh:   pcie.NewChannel(eng, name+".loop", cfg.LinkBandwidth),
@@ -145,6 +178,19 @@ func NewCard(eng *sim.Engine, cfg Config, rec *trace.Recorder, name string,
 		credits = 16
 	}
 	c.rxCredits = sim.NewSemaphore(eng, int64(credits))
+	gets := cfg.MaxOutstandingGets
+	if gets <= 0 {
+		gets = 16
+	}
+	c.getWindow = sim.NewSemaphore(eng, int64(gets))
+	if c.Cfg.GetRequestBytes <= 0 {
+		// Default descriptor size, clamped so it always fits one packet
+		// (the RX engine serves a GET per arriving control packet).
+		c.Cfg.GetRequestBytes = 32
+		if c.Cfg.GetRequestBytes > c.Cfg.MaxPayload {
+			c.Cfg.GetRequestBytes = c.Cfg.MaxPayload
+		}
+	}
 	c.hostReader = fab.NewReader(pci, hostMem, cfg.HostReadOutstanding, cfg.HostReadChunk)
 	net.register(c)
 	return c, nil
@@ -160,6 +206,7 @@ func (c *Card) Start() {
 	c.Eng.Go(c.Name+".inject", c.runInjector)
 	c.Eng.Go(c.Name+".rx", c.runRX)
 	c.Eng.Go(c.Name+".niosTX", c.runNiosTXWorker)
+	c.Eng.Go(c.Name+".getrsp", c.runGetResponder)
 }
 
 // Stats returns a snapshot of activity counters.
@@ -227,14 +274,20 @@ func (c *Card) Submit(p *sim.Proc, job *TXJob) error {
 		return fmt.Errorf("core: rank %d (%v) unreachable from rank %d (%v): torus partitioned by down links",
 			job.DstRank, c.Net.Dims.CoordOf(job.DstRank), c.Rank, c.Coord)
 	}
-	c.nextJobID++
-	job.ID = c.nextJobID<<16 | uint64(c.Rank&0xffff) // unique across cards
-	job.srcRank = c.Rank
+	c.assignJobID(job)
 	job.Submitted = p.Now()
 	p.Sleep(c.Cfg.TXDriverPerMessage)
 	c.stats.JobsSubmitted++
 	c.txq.Put(p, job)
 	return nil
+}
+
+// assignJobID mints a cluster-unique wire ID for a job this card injects
+// and stamps it as the source.
+func (c *Card) assignJobID(job *TXJob) {
+	c.nextJobID++
+	job.ID = c.nextJobID<<16 | uint64(c.Rank&0xffff) // unique across cards
+	job.srcRank = c.Rank
 }
 
 // packetize splits a job into packets of at most MaxPayload.
@@ -256,16 +309,31 @@ func (c *Card) packetize(job *TXJob) []*Packet {
 
 // runTX dispatches jobs to the host or GPU transmission engines. A single
 // dispatcher models the card's single TX context: jobs serialize, packets
-// within a job pipeline.
+// within a job pipeline. Control messages (GET requests and error
+// replies) carry card-built descriptors, not memory, so they skip the
+// read engines; GET data replies are ordinary host/GPU reads.
 func (c *Card) runTX(p *sim.Proc) {
 	for {
 		job := c.txq.Get(p)
+		if job.Kind == JobGetRequest || job.Kind == JobGetError {
+			c.txControl(p, job)
+			continue
+		}
 		switch job.SrcKind {
 		case HostMem:
 			c.txHost(p, job)
 		case GPUMem:
 			c.txGPU(p, job)
 		}
+	}
+}
+
+// txControl pushes a control message (its payload is a descriptor the
+// card already holds, nothing is fetched from memory) into the injector.
+func (c *Card) txControl(p *sim.Proc, job *TXJob) {
+	for _, pkt := range c.packetize(job) {
+		c.txFIFO.Put(p, int64(c.wireSize(pkt)))
+		c.emitPacketTX(p, pkt)
 	}
 }
 
@@ -290,11 +358,13 @@ func (c *Card) wireSize(pkt *Packet) units.ByteSize {
 }
 
 // completePacketTX accounts an injected packet and delivers the local
-// SendDone completion for the job's last packet.
+// SendDone completion for the job's last packet. GET-class jobs raise no
+// SendDone: the requester completes on GetDone, and the responder's
+// replies are firmware-internal traffic no host process waits for.
 func (c *Card) completePacketTX(pkt *Packet) {
 	c.stats.TXPackets++
 	c.stats.TXBytes += int64(pkt.Bytes)
-	if pkt.Last {
+	if pkt.Last && pkt.Job.Kind == JobPut {
 		c.SendCQ.TryPut(Completion{
 			Kind:    SendDone,
 			JobID:   pkt.Job.ID,

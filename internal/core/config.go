@@ -71,6 +71,19 @@ type Config struct {
 	TXDriverPerMessage sim.Duration // host kernel driver, per message
 	TXDriverPerPacket  sim.Duration // host kernel driver, per descriptor
 
+	// RDMA GET request/response engine (see get.go). GetRequestBytes is
+	// the wire payload of a request or error-reply control message;
+	// GetRequestHandling and GetReadDMASetup are the responder firmware
+	// costs (Nios II "GET" task) of parsing/validating a request and of
+	// programming the read DMA; MaxOutstandingGets bounds the requester's
+	// outstanding-request table (SubmitGet blocks when it is full, the
+	// GET-side mirror of TX-queue backpressure). Zero values take the
+	// defaults at card construction, so PUT-only configs are unchanged.
+	GetRequestBytes    units.ByteSize
+	GetRequestHandling sim.Duration
+	GetReadDMASetup    sim.Duration
+	MaxOutstandingGets int
+
 	// Host-memory read DMA engine (TX of host buffers).
 	HostReadOutstanding int
 	HostReadChunk       units.ByteSize
@@ -148,6 +161,11 @@ func DefaultConfig() Config {
 		TXDriverPerMessage: sim.FromNanos(1000),
 		TXDriverPerPacket:  sim.FromNanos(200),
 
+		GetRequestBytes:    32,
+		GetRequestHandling: sim.FromNanos(900),
+		GetReadDMASetup:    sim.FromNanos(700),
+		MaxOutstandingGets: 16,
+
 		HostReadOutstanding: 7,
 		HostReadChunk:       512,
 
@@ -178,6 +196,12 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("core: bad link bandwidth or Nios clock")
 	case c.HostReadOutstanding <= 0 || c.HostReadChunk <= 0:
 		return fmt.Errorf("core: bad host read DMA parameters")
+	case c.GetRequestBytes < 0 || c.MaxOutstandingGets < 0:
+		return fmt.Errorf("core: bad GET engine parameters")
+	case c.GetRequestBytes > c.MaxPayload:
+		// A request descriptor must fit one packet: the RX engine serves
+		// a GET per arriving control packet.
+		return fmt.Errorf("core: GET request descriptor (%v) exceeds packet payload (%v)", c.GetRequestBytes, c.MaxPayload)
 	}
 	if err := c.Routing.Validate(); err != nil {
 		return err

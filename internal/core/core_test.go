@@ -21,6 +21,9 @@ func TestConfigValidate(t *testing.T) {
 		func(c *Config) { c.ReadReqBytes = 0 },
 		func(c *Config) { c.LinkBandwidth = 0 },
 		func(c *Config) { c.HostReadOutstanding = 0 },
+		func(c *Config) { c.GetRequestBytes = -1 },
+		func(c *Config) { c.MaxOutstandingGets = -1 },
+		func(c *Config) { c.GetRequestBytes = c.MaxPayload + 1 },
 	}
 	for i, mut := range bad {
 		c := DefaultConfig()

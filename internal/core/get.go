@@ -1,0 +1,275 @@
+package core
+
+import (
+	"fmt"
+
+	"apenetsim/internal/sim"
+	"apenetsim/internal/units"
+)
+
+// RDMA GET: remote reads as a request/response exchange over the torus.
+//
+// The paper's API is PUT-only; the APEnet+ follow-up cards add GET, which
+// this engine models as two crossings of the same routed fabric:
+//
+//	requester                              responder
+//	---------                              ---------
+//	SubmitGet: window slot (table-full
+//	  blocks), driver cost, request
+//	  descriptor into the TX path  ------> RX intercepts JobGetRequest:
+//	                                         parse/validate (Nios "GET"),
+//	                                         BUF_LIST lookup + the same
+//	                                         translation stage as PUT
+//	                                         (read-side hits/misses land
+//	                                         in the card's TLB stats),
+//	                                         read-DMA programming (Nios
+//	                                         "GET"), then the reply as an
+//	  RX receives JobGetReply as an          ordinary host/GPU-read TX job
+//	  ordinary data stream: validate <-----  (or a JobGetError control
+//	  against the caller's registered        message when validation
+//	  buffer, translate, RX DMA;             fails)
+//	  completion matches reqID in the
+//	  outstanding table and lands
+//	  GetDone on the GetCQ
+//
+// Both crossings ask the pluggable router hop by hop, so adaptive
+// deviation and fault detours are counted on the card that injected each
+// leg: request detours on the requester, reply detours on the responder.
+// A partitioned destination is refused synchronously at SubmitGet
+// (mirroring Submit's ENETUNREACH); a partition discovered on the reply
+// crossing fails the outstanding request with an error completion.
+
+// GetJob is one RDMA GET submitted to the card: read Bytes from
+// RemoteAddr on RemoteRank into the local registered buffer at LocalAddr.
+type GetJob struct {
+	// ID is the request ID (reqID): requester-local, minted at submit,
+	// echoed by the reply, and reported as Completion.JobID.
+	ID         uint64
+	RemoteRank int
+	RemoteAddr uint64
+	LocalAddr  uint64
+	Bytes      units.ByteSize
+	// Payload is application data carried to the GetDone completion.
+	Payload any
+
+	// Submitted is stamped when the driver accepts the job.
+	Submitted sim.Time
+}
+
+// getMeta is the request/response bookkeeping a GET-class TXJob carries
+// across the torus.
+type getMeta struct {
+	reqID      uint64
+	requester  int            // requester rank: where the reply goes
+	remoteAddr uint64         // address read on the responder
+	bytes      units.ByteSize // payload to read (the request's wire Bytes is just the descriptor size)
+	replyAddr  uint64         // requester-side landing address
+	status     string         // error-reply cause ("" on requests / data replies)
+}
+
+// SubmitGet enqueues a GET, blocking while the outstanding-request table
+// is full (the GET-side mirror of Submit's TX-queue backpressure) and
+// paying the per-message driver cost. Like Submit, destinations the
+// router cannot reach fail here, synchronously.
+func (c *Card) SubmitGet(p *sim.Proc, job *GetJob) error {
+	if job.Bytes <= 0 {
+		panic("core: empty GET")
+	}
+	if job.RemoteRank < 0 || job.RemoteRank >= c.Net.Dims.Nodes() {
+		return fmt.Errorf("core: no rank %d in torus %v", job.RemoteRank, c.Net.Dims)
+	}
+	if job.RemoteRank != c.Rank && !c.Net.Reachable(c.Coord, c.Net.Dims.CoordOf(job.RemoteRank)) {
+		c.stats.GetRequests++
+		c.stats.GetErrors++
+		return fmt.Errorf("core: rank %d (%v) unreachable from rank %d (%v): torus partitioned by down links",
+			job.RemoteRank, c.Net.Dims.CoordOf(job.RemoteRank), c.Rank, c.Coord)
+	}
+	c.getWindow.Acquire(p, 1)
+	c.nextReqID++
+	job.ID = c.nextReqID
+	job.Submitted = p.Now()
+	c.outstandingGets[job.ID] = job
+	if n := int64(len(c.outstandingGets)); n > c.stats.OutstandingGetsPeak {
+		c.stats.OutstandingGetsPeak = n
+	}
+	c.stats.GetRequests++
+	p.Sleep(c.Cfg.TXDriverPerMessage)
+	req := &TXJob{
+		Kind:    JobGetRequest,
+		DstRank: job.RemoteRank,
+		DstAddr: job.RemoteAddr,
+		Bytes:   c.Cfg.GetRequestBytes,
+		get: &getMeta{
+			reqID:      job.ID,
+			requester:  c.Rank,
+			remoteAddr: job.RemoteAddr,
+			bytes:      job.Bytes,
+			replyAddr:  job.LocalAddr,
+		},
+	}
+	c.assignJobID(req)
+	if c.Rec.Enabled() {
+		c.Rec.Emit(p.Now(), c.Name+".get", "get_request", int64(job.Bytes),
+			fmt.Sprintf("req %d: rank %d addr %#x -> local %#x", job.ID, job.RemoteRank, job.RemoteAddr, job.LocalAddr))
+	}
+	c.txq.Put(p, req)
+	return nil
+}
+
+// OutstandingGets returns the current outstanding-request table depth.
+func (c *Card) OutstandingGets() int { return len(c.outstandingGets) }
+
+// rxGetRequest is the responder's half of a GET: the RX engine intercepts
+// the request before the PUT validate stage and runs the responder
+// pipeline — parse, BUF_LIST validation, the shared translation stage,
+// read-DMA programming — charging the firmware work to the Nios II "GET"
+// task so responder occupancy is measurable next to "RX" and
+// "GPU_P2P_TX".
+func (c *Card) rxGetRequest(p *sim.Proc, pkt *Packet) {
+	m := pkt.Job.get
+	c.Nios.Exec(p, "GET", c.Cfg.GetRequestHandling)
+	bytes := m.bytes
+	entry, scanned, ok := c.BufList.Lookup(m.remoteAddr, bytes)
+	c.translateAt(p, "GET", m.remoteAddr, scanned, ok)
+	if !ok {
+		c.replyGetError(p, m, fmt.Sprintf("remote address %#x+%v not registered on rank %d", m.remoteAddr, bytes, c.Rank))
+		return
+	}
+	// Program the read DMA and inject the reply as an ordinary routed
+	// data stream: a host-read (DMA engine) or GPU-P2P-read (gpu.Device)
+	// TX job toward the requester's reply buffer.
+	c.Nios.Exec(p, "GET", c.Cfg.GetReadDMASetup)
+	reply := &TXJob{
+		Kind:    JobGetReply,
+		SrcKind: entry.Kind,
+		SrcGPU:  entry.GPU,
+		DstRank: m.requester,
+		DstAddr: m.replyAddr,
+		Bytes:   bytes,
+		get:     m,
+	}
+	if c.Rec.Enabled() {
+		c.Rec.Emit(p.Now(), c.Name+".get", "get_reply", int64(bytes),
+			fmt.Sprintf("req %d: %s read %#x -> rank %d", m.reqID, entry.Kind, m.remoteAddr, m.requester))
+	}
+	c.submitGetReply(p, reply)
+}
+
+// replyGetError sends a GET error reply: a control message that fails the
+// requester's outstanding entry with status. If the requester itself is
+// unreachable the failure is delivered directly (the simulation's
+// equivalent of the requester timing out a request the fabric can no
+// longer answer).
+func (c *Card) replyGetError(p *sim.Proc, m *getMeta, status string) {
+	if c.Rec.Enabled() {
+		c.Rec.Emit(p.Now(), c.Name+".get", "get_reply", 0,
+			fmt.Sprintf("req %d: error to rank %d: %s", m.reqID, m.requester, status))
+	}
+	if !c.Net.Reachable(c.Coord, c.Net.Dims.CoordOf(m.requester)) {
+		c.failRemoteGet(m, "error reply undeliverable: "+status)
+		return
+	}
+	em := *m
+	em.status = status
+	errJob := &TXJob{
+		Kind:    JobGetError,
+		DstRank: m.requester,
+		DstAddr: m.replyAddr,
+		Bytes:   c.Cfg.GetRequestBytes,
+		get:     &em,
+	}
+	c.submitGetReply(p, errJob)
+}
+
+// submitGetReply hands a reply (data or error) to the responder process.
+// The RX engine never blocks here — the queue is unbounded — so request
+// processing cannot deadlock against TX backpressure.
+func (c *Card) submitGetReply(p *sim.Proc, job *TXJob) {
+	c.assignJobID(job)
+	job.Submitted = p.Now()
+	c.getReplyQ.Put(p, job)
+}
+
+// runGetResponder drains validated GET replies into the normal TX path,
+// where they serialize with the card's own jobs and pay the same read
+// engines (host DMA / GPU_P2P_TX) and injection costs as a PUT.
+func (c *Card) runGetResponder(p *sim.Proc) {
+	for {
+		job := c.getReplyQ.Get(p)
+		if !c.Net.Reachable(c.Coord, c.Net.Dims.CoordOf(job.DstRank)) {
+			// The reply crossing is partitioned (links died after the
+			// request crossed): ENETUNREACH propagates to the requester as
+			// an error completion instead of a hang.
+			c.failRemoteGet(job.get, fmt.Sprintf("reply unreachable: rank %d cut off from rank %d", job.DstRank, c.Rank))
+			continue
+		}
+		c.txq.Put(p, job)
+	}
+}
+
+// failRemoteGet fails the requester's outstanding entry directly. One
+// engine serializes all cards (cf. rxWireLoss), so this is the
+// simulation's stand-in for the requester-side timeout a real card would
+// need when the fabric swallows a request or reply.
+func (c *Card) failRemoteGet(m *getMeta, reason string) {
+	if rc := c.Net.Card(m.requester); rc != nil {
+		rc.finishGet(m.reqID, 0, reason)
+	}
+}
+
+// finishGet completes the outstanding request reqID — success when err is
+// empty, failure otherwise — releasing its table slot and raising GetDone
+// on the GetCQ. Unknown reqIDs (an entry already failed by a partial
+// reply) are ignored.
+func (c *Card) finishGet(reqID uint64, arrivedBytes units.ByteSize, err string) {
+	job, ok := c.outstandingGets[reqID]
+	if !ok {
+		return
+	}
+	delete(c.outstandingGets, reqID)
+	c.getWindow.Release(1)
+	if err == "" {
+		c.stats.GetBytes += int64(arrivedBytes)
+	} else {
+		c.stats.GetErrors++
+	}
+	if c.Rec.Enabled() {
+		detail := fmt.Sprintf("req %d: %v from rank %d", reqID, job.Bytes, job.RemoteRank)
+		if err != "" {
+			detail = fmt.Sprintf("req %d: ERROR: %s", reqID, err)
+		}
+		c.Rec.Emit(c.Eng.Now(), c.Name+".get", "get_done", int64(arrivedBytes), detail)
+	}
+	c.GetCQ.TryPut(Completion{
+		Kind:    GetDone,
+		JobID:   reqID,
+		SrcRank: job.RemoteRank,
+		DstRank: c.Rank,
+		DstAddr: job.LocalAddr,
+		Bytes:   arrivedBytes,
+		At:      c.Eng.Now(),
+		Payload: job.Payload,
+		Err:     err,
+	})
+}
+
+// rxGetError is the requester's handling of an error reply: firmware
+// raises the failed completion.
+func (c *Card) rxGetError(p *sim.Proc, pkt *Packet) {
+	m := pkt.Job.get
+	c.Nios.Exec(p, "RX", c.Cfg.RXCompletion)
+	c.finishGet(m.reqID, 0, m.status)
+}
+
+// completeGetReply retires a fully-delivered GET reply: firmware raises
+// the completion once both its work and the payload's DMA write have
+// finished, exactly like a PUT's RecvDone — but it lands on the GetCQ,
+// matched to the outstanding request by reqID.
+func (c *Card) completeGetReply(p *sim.Proc, job *TXJob, arrival sim.Time) {
+	c.Nios.Exec(p, "RX", c.Cfg.RXCompletion)
+	if now := c.Eng.Now(); arrival < now {
+		arrival = now
+	}
+	reqID, bytes := job.get.reqID, job.Bytes
+	c.Eng.At(arrival, func() { c.finishGet(reqID, bytes, "") })
+}

@@ -25,9 +25,44 @@ func (k MemKind) String() string {
 	return "Host"
 }
 
-// TXJob is one RDMA PUT submitted to the card.
+// JobKind classifies what a TXJob carries on the wire. The paper's API
+// is PUT-only; the GET request/response engine (see get.go) adds three
+// more classes that travel the same routed links but are dispatched
+// differently by the receiving card's RX engine.
+type JobKind int
+
+const (
+	// JobPut is an RDMA PUT data stream (the paper's only class).
+	JobPut JobKind = iota
+	// JobGetRequest is a GET request descriptor: a small control message
+	// carrying (requester, reqID, remoteAddr, bytes, replyAddr) toward
+	// the responder.
+	JobGetRequest
+	// JobGetReply is the GET reply: the read-out payload streamed back to
+	// the requester as ordinary routed data.
+	JobGetReply
+	// JobGetError is a GET error reply: a control message failing the
+	// requester's outstanding request (unregistered remote address, ...).
+	JobGetError
+)
+
+func (k JobKind) String() string {
+	switch k {
+	case JobGetRequest:
+		return "get_request"
+	case JobGetReply:
+		return "get_reply"
+	case JobGetError:
+		return "get_error"
+	}
+	return "put"
+}
+
+// TXJob is one transmission job submitted to the card: an RDMA PUT (the
+// zero-valued Kind), or one leg of a GET request/response exchange.
 type TXJob struct {
 	ID      uint64
+	Kind    JobKind
 	SrcKind MemKind
 	SrcGPU  *gpu.Device // required when SrcKind == GPUMem
 	DstRank int
@@ -43,6 +78,9 @@ type TXJob struct {
 	// a link marked down; the injector counts the job once, on its last
 	// packet (CardStats.RoutedAroundJobs).
 	routedAround bool
+
+	// get carries the request/response bookkeeping of GET-class jobs.
+	get *getMeta
 }
 
 // Packet is one network packet of a fragmented job.
@@ -61,6 +99,9 @@ const (
 	SendDone CompKind = iota
 	// RecvDone: the job's last byte was written to the target buffer.
 	RecvDone
+	// GetDone: a GET's reply landed in the local buffer (or the request
+	// failed — see Completion.Err). Delivered on the requester's GetCQ.
+	GetDone
 )
 
 // Completion is an event delivered to a card's completion queues.
@@ -73,6 +114,10 @@ type Completion struct {
 	Bytes   units.ByteSize
 	At      sim.Time
 	Payload any
+	// Err is the failure cause of a GetDone completion ("" on success):
+	// the responder's error reply, a reply lost to dead links, or a
+	// partition discovered on the reply crossing.
+	Err string
 }
 
 // BufEntry is one registered buffer in the card's BUF_LIST.

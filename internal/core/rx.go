@@ -32,6 +32,21 @@ func (c *Card) runRX(p *sim.Proc) {
 		pkt := c.rxQ.Get(p)
 		c.rxCredits.Release(1) // packet leaves the link-level buffer
 
+		// GET control messages divert before the PUT pipeline: requests
+		// into the responder engine (get.go), error replies into the
+		// requester's completion path. GET data replies fall through and
+		// ride the ordinary validate/translate/DMA/deliver stages.
+		switch pkt.Job.Kind {
+		case JobGetRequest:
+			c.rxControlPacket(pkt)
+			c.rxGetRequest(p, pkt)
+			continue
+		case JobGetError:
+			c.rxControlPacket(pkt)
+			c.rxGetError(p, pkt)
+			continue
+		}
+
 		entry, scanned, ok := c.rxValidate(pkt)
 		c.rxTranslate(p, pkt, scanned, ok)
 		if !ok {
@@ -41,6 +56,13 @@ func (c *Card) runRX(p *sim.Proc) {
 		arrival := c.rxProgramDMA(p, pkt, entry)
 		c.rxDeliver(p, pkt, arrival)
 	}
+}
+
+// rxControlPacket accounts a received GET control message (it carries a
+// descriptor, not buffer data, so it skips the progress maps).
+func (c *Card) rxControlPacket(pkt *Packet) {
+	c.stats.RXPackets++
+	c.stats.RXBytes += int64(pkt.Bytes)
 }
 
 // rxValidate searches the BUF_LIST for the packet's destination buffer.
@@ -55,11 +77,20 @@ func (c *Card) rxValidate(pkt *Packet) (entry *BufEntry, scanned int, ok bool) {
 // RX pipeline, firmware time serializes on the Nios II.
 func (c *Card) rxTranslate(p *sim.Proc, pkt *Packet, scanned int, registered bool) {
 	addr := pkt.Job.DstAddr + uint64(pkt.Seq)*uint64(c.Cfg.MaxPayload)
+	c.translateAt(p, "RX", addr, scanned, registered)
+}
+
+// translateAt runs one translation through the card's translator,
+// charging firmware time to the named Nios II task. The PUT RX pipeline
+// uses task "RX"; the GET responder uses "GET" so its occupancy is
+// separately measurable, while read-side hits/misses still land in the
+// same per-card translator stats.
+func (c *Card) translateAt(p *sim.Proc, task string, addr uint64, scanned int, registered bool) {
 	out := c.xlat.Translate(addr, scanned, registered)
 	if out.Hardware > 0 {
 		p.Sleep(out.Hardware)
 	}
-	c.Nios.Exec(p, "RX", out.Firmware)
+	c.Nios.Exec(p, task, out.Firmware)
 }
 
 // rxDrop discards a packet with no registered destination and retires the
@@ -101,8 +132,15 @@ func (c *Card) rxDeliver(p *sim.Proc, pkt *Packet, arrival sim.Time) {
 // the job if its last byte has now been seen, so receivers are never
 // left waiting on packets that can no longer arrive. Called from the
 // sender's injector context: one engine serializes both cards, so the
-// progress maps need no further protection.
+// progress maps need no further protection. A lost GET control message
+// has no progress to track; it immediately fails the requester's
+// outstanding entry instead (GET data replies use the normal progress
+// accounting and fail on retire).
 func (c *Card) rxWireLoss(pkt *Packet) {
+	if pkt.Job.Kind == JobGetRequest || pkt.Job.Kind == JobGetError {
+		c.failRemoteGet(pkt.Job.get, fmt.Sprintf("%s lost on the wire toward rank %d", pkt.Job.Kind, pkt.Job.DstRank))
+		return
+	}
 	c.rxDropped[pkt.Job.ID] += pkt.Bytes
 	if c.rxProgress[pkt.Job.ID]+c.rxDropped[pkt.Job.ID] >= pkt.Job.Bytes {
 		c.rxRetireIncomplete(pkt.Job)
@@ -121,6 +159,13 @@ func (c *Card) rxRetireIncomplete(job *TXJob) {
 	if c.Rec.Enabled() {
 		c.Rec.Emit(c.Eng.Now(), c.Name+".rx", "job_incomplete", int64(dropped),
 			fmt.Sprintf("job %d from rank %d: %v delivered, %v dropped", job.ID, job.srcRank, delivered, dropped))
+	}
+	if job.Kind == JobGetReply {
+		// An incomplete reply can never complete the GET: fail the
+		// outstanding entry (this card is the requester) instead of
+		// leaving it to block the window forever.
+		c.finishGet(job.get.reqID, 0,
+			fmt.Sprintf("reply incomplete: %v delivered, %v lost", delivered, dropped))
 	}
 }
 
@@ -141,6 +186,11 @@ func (c *Card) rxFinishJob(p *sim.Proc, job *TXJob, arrival sim.Time) {
 	}
 	delete(c.rxProgress, job.ID)
 	delete(c.rxDropped, job.ID)
+
+	if job.Kind == JobGetReply {
+		c.completeGetReply(p, job, arrival)
+		return
+	}
 
 	// Firmware raises the completion event for the message; it is
 	// delivered when both the firmware work and the payload's DMA write

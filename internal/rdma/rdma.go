@@ -102,9 +102,11 @@ type PutFlags struct {
 }
 
 // Put issues an RDMA PUT of n bytes from the local buffer src (at srcOff)
-// into the remote address dstAddr+dstOff on dstRank. It blocks only for
-// job submission (TX queue space), not for completion; completions arrive
-// on the card's SendCQ/RecvCQ.
+// into the remote address dstAddr on dstRank; callers targeting an offset
+// within a remote buffer fold it into dstAddr themselves (the address is
+// opaque to the local card — the responder's BUF_LIST validates the
+// range). It blocks only for job submission (TX queue space), not for
+// completion; completions arrive on the card's SendCQ/RecvCQ.
 func (ep *Endpoint) Put(p *sim.Proc, dstRank int, dstAddr uint64, src *Buffer, srcOff int64, n units.ByteSize, flags PutFlags) (*core.TXJob, error) {
 	if src == nil || src.entry == nil {
 		return nil, fmt.Errorf("rdma: source buffer not registered")
@@ -131,6 +133,44 @@ func (ep *Endpoint) PutBuffer(p *sim.Proc, dstRank int, dst *Buffer, src *Buffer
 	return ep.Put(p, dstRank, dst.Addr, src, 0, n, flags)
 }
 
+// GetFlags control a GET operation.
+type GetFlags struct {
+	// Payload is application data delivered with the GetDone completion.
+	Payload any
+}
+
+// Get issues an RDMA GET of n bytes from the remote address srcAddr on
+// srcRank into the local buffer dst (at dstOff). Like Put, srcAddr is
+// opaque to the local card: the responder validates it against its
+// BUF_LIST and answers unregistered or out-of-range reads with an error
+// reply. Get blocks for submission only — outstanding-request table
+// space and TX queue space — not for the reply; the GetDone completion
+// (Completion.Err carries any failure) arrives on the card's GetCQ.
+func (ep *Endpoint) Get(p *sim.Proc, srcRank int, srcAddr uint64, dst *Buffer, dstOff int64, n units.ByteSize, flags GetFlags) (*core.GetJob, error) {
+	if dst == nil || dst.entry == nil {
+		return nil, fmt.Errorf("rdma: destination buffer not registered")
+	}
+	if dstOff < 0 || units.ByteSize(dstOff)+n > dst.Size {
+		return nil, fmt.Errorf("rdma: destination range [%d,+%v) outside buffer of %v", dstOff, n, dst.Size)
+	}
+	job := &core.GetJob{
+		RemoteRank: srcRank,
+		RemoteAddr: srcAddr,
+		LocalAddr:  dst.Addr + uint64(dstOff),
+		Bytes:      n,
+		Payload:    flags.Payload,
+	}
+	if err := ep.Card.SubmitGet(p, job); err != nil {
+		return nil, err
+	}
+	return job, nil
+}
+
+// GetBuffer is Get reading from the base of a remote buffer's address.
+func (ep *Endpoint) GetBuffer(p *sim.Proc, srcRank int, src *Buffer, dst *Buffer, n units.ByteSize, flags GetFlags) (*core.GetJob, error) {
+	return ep.Get(p, srcRank, src.Addr, dst, 0, n, flags)
+}
+
 // WaitSend blocks until the next local send completion.
 func (ep *Endpoint) WaitSend(p *sim.Proc) core.Completion {
 	return ep.Card.SendCQ.Get(p)
@@ -139,6 +179,11 @@ func (ep *Endpoint) WaitSend(p *sim.Proc) core.Completion {
 // WaitRecv blocks until the next receive completion.
 func (ep *Endpoint) WaitRecv(p *sim.Proc) core.Completion {
 	return ep.Card.RecvCQ.Get(p)
+}
+
+// WaitGet blocks until the next GET completion (success or error).
+func (ep *Endpoint) WaitGet(p *sim.Proc) core.Completion {
+	return ep.Card.GetCQ.Get(p)
 }
 
 // DrainSends consumes n send completions.
@@ -153,6 +198,15 @@ func (ep *Endpoint) DrainRecvs(p *sim.Proc, n int) core.Completion {
 	var last core.Completion
 	for i := 0; i < n; i++ {
 		last = ep.WaitRecv(p)
+	}
+	return last
+}
+
+// DrainGets consumes n GET completions, returning the last.
+func (ep *Endpoint) DrainGets(p *sim.Proc, n int) core.Completion {
+	var last core.Completion
+	for i := 0; i < n; i++ {
+		last = ep.WaitGet(p)
 	}
 	return last
 }

@@ -134,3 +134,42 @@ func TestRegistrationCostCharged(t *testing.T) {
 	})
 	eng.Run()
 }
+
+// Get must validate the local landing range before anything reaches the
+// card, and a loop-back GET (self-read through the internal switch) must
+// complete like any other.
+func TestGetValidationAndLoopback(t *testing.T) {
+	eng, _, ep := rig(t)
+	defer eng.Shutdown()
+	eng.Go("t", func(p *sim.Proc) {
+		dst, err := ep.NewHostBuffer(p, 64*units.KB)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		src, err := ep.NewHostBuffer(p, 64*units.KB)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		unreg := &Buffer{Size: 4096}
+		if _, err := ep.Get(p, 0, src.Addr, unreg, 0, 1, GetFlags{}); err == nil {
+			t.Error("GET into an unregistered buffer accepted")
+		}
+		if _, err := ep.Get(p, 0, src.Addr, dst, 60*1024, 8*units.KB, GetFlags{}); err == nil {
+			t.Error("GET overrunning the local buffer accepted")
+		}
+		if _, err := ep.Get(p, 0, src.Addr, dst, -1, 1, GetFlags{}); err == nil {
+			t.Error("GET with negative offset accepted")
+		}
+		if _, err := ep.GetBuffer(p, 0, src, dst, 16*units.KB, GetFlags{Payload: "loop"}); err != nil {
+			t.Error(err)
+			return
+		}
+		comp := ep.WaitGet(p)
+		if comp.Err != "" || comp.Bytes != 16*units.KB || comp.Payload != "loop" || comp.SrcRank != 0 {
+			t.Errorf("loop-back GET completion: %+v", comp)
+		}
+	})
+	eng.Run()
+}
