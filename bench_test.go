@@ -147,3 +147,10 @@ func BenchmarkCollScaling(b *testing.B) {
 		return "halo_agg_MB/s", cell(r, last, 3)
 	})
 }
+
+func BenchmarkScaleSweep(b *testing.B) {
+	runExperiment(b, "scale-sweep", func(r *bench.Report) (string, float64) {
+		last := len(r.Rows) - 1
+		return "Msteps", cell(r, last, 4)
+	})
+}

@@ -19,6 +19,7 @@
 //	apebench -run fig6,fig8 -tlb           # hardware RX TLB on every card
 //	apebench -run 'route-*,coll-a2a-adaptive'  # routing experiments (adaptive, fault-aware)
 //	apebench -run coll-a2a -router adaptive -hotlinks 3
+//	apebench -run coll-scaling,scale-sweep -scale  # 16^3/32^3 LQCD-scale rows
 //	apebench -all -quick -parallel 4 -json out.json
 //	apebench -all -quick -baseline BENCH_2026-07-27.json -tolerance 1
 //	apebench -all -quick -json auto   # writes BENCH_<date>.json
@@ -36,6 +37,18 @@ import (
 	"apenetsim/internal/route"
 	"apenetsim/internal/torus"
 )
+
+// fmtRate renders an event-engine throughput compactly ("2.1M" steps/s).
+func fmtRate(r float64) string {
+	switch {
+	case r >= 1e6:
+		return fmt.Sprintf("%.1fM", r/1e6)
+	case r >= 1e3:
+		return fmt.Sprintf("%.0fk", r/1e3)
+	default:
+		return fmt.Sprintf("%.0f", r)
+	}
+}
 
 // parseDims parses a -dims value like "8,8,8" into torus dimensions.
 func parseDims(s string) (torus.Dims, error) {
@@ -127,6 +140,7 @@ func main() {
 	dimsFlag := flag.String("dims", "", "torus dimensions X,Y,Z for the coll-* experiments (e.g. 8,8,8)")
 	tlb := flag.Bool("tlb", false, "run every card with the hardware RX TLB (28 nm follow-up) instead of the firmware V2P walk")
 	router := flag.String("router", "", "torus routing engine: dor (default), adaptive, or fault")
+	scale := flag.Bool("scale", false, "include the LQCD-scale 16^3/32^3 rows in size-sweeping experiments (minutes of wall time)")
 	hotlinks := flag.Int("hotlinks", 0, "print the top-N congested links after each coll-*/route-* experiment")
 	flag.Parse()
 
@@ -167,9 +181,9 @@ func main() {
 	runner := bench.Runner{
 		Parallel: *parallel,
 		Opts: bench.Options{Quick: *quick, Seed: *seed, Dims: dims, TLB: *tlb,
-			Router: routerMode, HotLinks: *hotlinks},
+			Router: routerMode, HotLinks: *hotlinks, Scale: *scale},
 		Progress: func(r bench.Result) {
-			status := fmt.Sprintf("%.1fs, %d sim steps", r.WallSeconds, r.SimSteps)
+			status := fmt.Sprintf("%.1fs, %d sim steps, %s steps/s", r.WallSeconds, r.SimSteps, fmtRate(r.StepsPerSec))
 			if r.Err != "" {
 				status = "FAILED: " + r.Err
 			}
@@ -190,8 +204,9 @@ func main() {
 			fmt.Print(res.Report.CSV())
 		} else {
 			fmt.Print(res.Report.Render())
-			fmt.Printf("(%s in %.1fs, %d engines, %d sim steps)\n\n",
-				res.ID, res.WallSeconds, res.SimEngines, res.SimSteps)
+			fmt.Printf("(%s in %.1fs, %d engines, %d sim steps, %s steps/s, peak %d pending)\n\n",
+				res.ID, res.WallSeconds, res.SimEngines, res.SimSteps,
+				fmtRate(res.StepsPerSec), res.PeakPending)
 		}
 		if len(res.Report.HotLinks) > 0 {
 			// -hotlinks: congestion data without reading trace JSON. Keep
@@ -208,9 +223,13 @@ func main() {
 		}
 	}
 	if !*csv {
-		fmt.Printf("ran %d experiments in %s wall (%.1fs serial work, %d sim steps, %d workers)\n",
+		rate := 0.0
+		if s := report.TotalWallSeconds(); s > 0 {
+			rate = float64(report.TotalSimSteps()) / s
+		}
+		fmt.Printf("ran %d experiments in %s wall (%.1fs serial work, %d sim steps, %s steps/s, %d workers)\n",
 			len(report.Results), elapsed.Round(100*time.Millisecond),
-			report.TotalWallSeconds(), report.TotalSimSteps(), report.Parallel)
+			report.TotalWallSeconds(), report.TotalSimSteps(), fmtRate(rate), report.Parallel)
 	}
 
 	if *jsonOut != "" {
@@ -233,10 +252,10 @@ func main() {
 			os.Exit(1)
 		}
 		if base.Quick != report.Quick || base.Seed != report.Seed || base.Dims != report.Dims ||
-			base.TLB != report.TLB || base.Router != report.Router {
-			fmt.Fprintf(os.Stderr, "apebench: incompatible baseline %s (quick=%v seed=%d dims=%q tlb=%v router=%q, this run quick=%v seed=%d dims=%q tlb=%v router=%q); rerun with matching flags\n",
-				*baseline, base.Quick, base.Seed, base.Dims, base.TLB, base.Router,
-				report.Quick, report.Seed, report.Dims, report.TLB, report.Router)
+			base.TLB != report.TLB || base.Router != report.Router || base.Scale != report.Scale {
+			fmt.Fprintf(os.Stderr, "apebench: incompatible baseline %s (quick=%v seed=%d dims=%q tlb=%v router=%q scale=%v, this run quick=%v seed=%d dims=%q tlb=%v router=%q scale=%v); rerun with matching flags\n",
+				*baseline, base.Quick, base.Seed, base.Dims, base.TLB, base.Router, base.Scale,
+				report.Quick, report.Seed, report.Dims, report.TLB, report.Router, report.Scale)
 			os.Exit(1)
 		}
 		// Keep stdout parseable in -csv mode; the diff goes to stderr there.

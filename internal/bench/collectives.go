@@ -318,10 +318,19 @@ var collLadder = []torus.Dims{
 	{X: 8, Y: 8, Z: 8},
 }
 
+// collScaleRows is the LQCD-scale tail of the ladder, included only with
+// Options.Scale: the sizes the APEnet+ line targets for petaflops-scale
+// Lattice QCD machines.
+var collScaleRows = []torus.Dims{
+	{X: 16, Y: 16, Z: 16},
+	{X: 32, Y: 32, Z: 32},
+}
+
 // CollScaling sweeps torus size, running one halo exchange and one
 // dimension-ordered allreduce per size and reporting achieved bandwidth
 // plus where the torus saturates. -dims X,Y,Z extends the ladder up to
-// (and including) that size; the default stops at 4x4x4 (64 cards).
+// (and including) that size; the default stops at 4x4x4 (64 cards), and
+// -scale appends the 16^3 and 32^3 LQCD-scale rows.
 func CollScaling(o Options) *Report { return collScaling(o, false) }
 
 // CollScalingTLB is the torus-size ladder with every card on the
@@ -345,6 +354,12 @@ func collScaling(o Options, tlb bool) *Report {
 		dimsList = collLadder[:3]
 	default:
 		dimsList = collLadder[:5]
+	}
+	// The LQCD-scale rows ride on the firmware-walk variant only: the TLB
+	// ladder answers a translation question that 512 cards already settle,
+	// and a 32^3 row costs tens of millions of events.
+	if o.Scale && !o.Dims.Valid() && !tlb {
+		dimsList = append(dimsList, collScaleRows...)
 	}
 	faceBytes := units.ByteSize(64 * units.KB)
 	reduceBytes := units.ByteSize(256 * units.KB)

@@ -46,6 +46,13 @@ type Options struct {
 	// coll-a2a-adaptive) compare routers explicitly and ignore it, and
 	// get-degraded always runs the fault-aware router its scenario needs.
 	Router route.Mode
+	// Scale includes the LQCD-scale torus sizes — 16x16x16 (4,096 cards)
+	// and 32x32x32 (32,768 cards) — in the experiments that sweep cluster
+	// size: coll-scaling gains the two ladder rows and scale-sweep climbs
+	// its full ladder. Off by default because a 32^3 row simulates tens of
+	// millions of events; set from apebench's -scale flag and recorded in
+	// the run JSON.
+	Scale bool
 	// HotLinks, when positive, makes the experiments that drive collective
 	// torus traffic (the coll-* and route-* families) record their top-N
 	// congested links into the report (apebench -hotlinks); zero keeps
@@ -119,12 +126,13 @@ func All() []Experiment {
 		{"coll-halo", "Halo exchange bandwidth across torus sizes", "collective", CollHalo},
 		{"coll-allreduce", "Allreduce: ring vs dimension-order algorithms", "collective", CollAllReduce},
 		{"coll-a2a", "All-to-all bandwidth and torus hotspots", "collective", CollAllToAll},
-		{"coll-scaling", "Collective scaling up to 8x8x8 (512 cards)", "collective", CollScaling},
+		{"coll-scaling", "Collective scaling up to 8x8x8 (512 cards; 32x32x32 with -scale)", "collective", CollScaling},
 		{"coll-halo-tlb", "Halo exchange with the hardware RX TLB", "28nm follow-up", CollHaloTLB},
 		{"coll-scaling-tlb", "Collective scaling with the hardware RX TLB", "28nm follow-up", CollScalingTLB},
 		{"route-hotspot", "Adaptive vs dimension-order routing under a transpose hotspot", "routing", RouteHotspot},
 		{"route-degraded", "Allreduce on a degrading torus: fault-aware routing around dead links", "routing", RouteDegraded},
 		{"coll-a2a-adaptive", "All-to-all hot-link spread: dimension-order vs adaptive", "routing", CollAllToAllAdaptive},
+		{"scale-sweep", "Event-engine throughput across LQCD-scale tori", "scaling", ScaleSweep},
 		{"get-lat", "GET round trip vs PUT latency across buffer paths", "rdma-get", GetLat},
 		{"get-bw", "Pipelined GET bandwidth vs outstanding-request window", "rdma-get", GetBW},
 		{"get-degraded", "GETs over cut cables: request vs reply detours, isolated responder refused", "rdma-get", GetDegraded},

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"testing"
+
+	"apenetsim/internal/coll"
+	"apenetsim/internal/core"
+	"apenetsim/internal/sim"
+	"apenetsim/internal/torus"
+	"apenetsim/internal/units"
+)
+
+// meterRun drives the LQCD inner loop (halo exchanges + one allreduce) on
+// an 8x8x8 torus with the given link metering mode and returns the
+// network, the engine's executed-step count, and rank 0's measured
+// collective durations.
+func meterRun(t *testing.T, mode core.LinkMeterMode) (*core.Network, uint64, [2]sim.Duration) {
+	t.Helper()
+	dims := torus.Dims{X: 8, Y: 8, Z: 8}
+	acct := &sim.Account{}
+	eng := sim.NewWithAccount(acct)
+	cfg := core.DefaultConfig()
+	cfg.Account = acct
+	cfg.LinkMeterMode = mode
+	w, err := coll.NewWorld(eng, coll.Config{
+		Dims:      dims,
+		Card:      &cfg,
+		Buf:       core.GPUMem,
+		SlotBytes: collSlot,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := collWant(dims.Nodes(), 4)
+	var timings [2]sim.Duration
+	w.Run(func(p *sim.Proc, r *coll.Rank) {
+		vals := collVals(r.ID, 4)
+		// 64 KB faces fragment into sixteen 4 KB packets per hop, so every
+		// active link carries far more than one sampling stride of traffic.
+		d := r.Timed(p, func() {
+			for i := 0; i < 4; i++ {
+				r.Halo(p, 64*units.KB, vals)
+			}
+		})
+		var res []float64
+		d2 := r.Timed(p, func() { res = r.AllReduceDims(p, 64*units.KB, vals) })
+		checkReduced("meter-test", r.ID, res, want)
+		if r.ID == 0 {
+			timings[0], timings[1] = d, d2
+		}
+	})
+	net := w.Net()
+	eng.Shutdown()
+	return net, acct.Steps(), timings
+}
+
+// TestSampledMeteringRegression pins the LinkMeterSampled contract on an
+// 8x8x8 torus against exact metering:
+//
+//   - Timing is bit-identical: sampling changes which reservations update
+//     counters, never where a reservation lands, so rank 0's collective
+//     durations and the engine's executed-event count must match exactly.
+//   - Per-link packet counts undercount by strictly less than one
+//     sampling stride (the unrecorded residual of the last window).
+//   - The cluster-wide wire-byte total stays within the documented
+//     O(stride/P) relative error of the exact conservation-law value.
+func TestSampledMeteringRegression(t *testing.T) {
+	exactNet, exactSteps, exactTimings := meterRun(t, core.LinkMeterExact)
+	sampNet, sampSteps, sampTimings := meterRun(t, core.LinkMeterSampled)
+
+	if exactNet.MeterMode() != core.LinkMeterExact || sampNet.MeterMode() != core.LinkMeterSampled {
+		t.Fatalf("networks did not adopt the card metering mode: %v / %v",
+			exactNet.MeterMode(), sampNet.MeterMode())
+	}
+	if exactTimings != sampTimings {
+		t.Errorf("sampled metering changed collective timing: exact %v, sampled %v",
+			exactTimings, sampTimings)
+	}
+	if exactSteps != sampSteps {
+		t.Errorf("sampled metering changed the event count: exact %d, sampled %d",
+			exactSteps, sampSteps)
+	}
+
+	sampled := map[[2]int]core.LinkStat{}
+	for _, s := range sampNet.LinkStats() {
+		sampled[[2]int{s.Rank, int(s.Dir)}] = s
+	}
+	for _, e := range exactNet.LinkStats() {
+		s := sampled[[2]int{e.Rank, int(e.Dir)}] // zero-valued if under one stride
+		under := e.Packets - s.Packets
+		if under < 0 || under >= core.LinkMeterSampleEvery {
+			t.Fatalf("link %s: exact %d packets, sampled %d; undercount must be in [0,%d)",
+				e.Name(), e.Packets, s.Packets, core.LinkMeterSampleEvery)
+		}
+	}
+
+	exactWire, sampWire := exactNet.TotalLinkWireBytes(), sampNet.TotalLinkWireBytes()
+	if exactWire <= 0 || sampWire <= 0 {
+		t.Fatalf("no metered traffic: exact %d, sampled %d", exactWire, sampWire)
+	}
+	rel := float64(exactWire-sampWire) / float64(exactWire)
+	if rel < -0.10 || rel > 0.10 {
+		t.Errorf("sampled wire-byte estimate off by %.2f%% (exact %d, sampled %d), documented error is O(stride/P)",
+			100*rel, exactWire, sampWire)
+	}
+	t.Logf("wire bytes: exact %d, sampled %d (%.3f%% error)", exactWire, sampWire, 100*rel)
+}

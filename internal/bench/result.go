@@ -22,6 +22,17 @@ type Result struct {
 	WallSeconds float64 `json:"wall_seconds"`
 	SimEngines  uint64  `json:"sim_engines"`
 	SimSteps    uint64  `json:"sim_steps"`
+	// StepsPerSec is SimSteps/WallSeconds — the event-engine throughput
+	// this host sustained. Wall-derived and therefore nondeterministic:
+	// it lives here (and in apebench's progress output), never in a
+	// Report cell, so baseline diffs stay byte-stable. Additive field:
+	// older schema-1 readers ignore it.
+	StepsPerSec float64 `json:"steps_per_sec,omitempty"`
+	// PeakPending is the event-queue high-water mark across every engine
+	// the experiment spun up — the simultaneity the simulator had to
+	// hold. Deterministic. Additive field: older schema-1 readers
+	// ignore it.
+	PeakPending uint64 `json:"peak_pending,omitempty"`
 	// Seed is the per-experiment seed the runner derived (0 = the
 	// experiment's paper default).
 	Seed int64 `json:"seed,omitempty"`
@@ -50,7 +61,11 @@ type Run struct {
 	// Router records a -router override ("adaptive", "fault"); empty when
 	// the experiments ran with the default dimension-ordered router.
 	// Additive field: older schema-1 readers ignore it.
-	Router  string   `json:"router,omitempty"`
+	Router string `json:"router,omitempty"`
+	// Scale records a -scale run: size-sweeping experiments included
+	// their LQCD-scale (16^3/32^3) rows. Additive field: older schema-1
+	// readers ignore it.
+	Scale   bool     `json:"scale,omitempty"`
 	Results []Result `json:"results"`
 }
 

@@ -53,6 +53,7 @@ func (r *Runner) Run(exps []Experiment) *Run {
 		Parallel:      workers,
 		Seed:          r.Opts.Seed,
 		TLB:           r.Opts.TLB,
+		Scale:         r.Opts.Scale,
 		Results:       make([]Result, len(exps)),
 	}
 	if r.Opts.Dims.Valid() {
@@ -109,6 +110,10 @@ func (r *Runner) runOne(e Experiment) Result {
 	res.WallSeconds = time.Since(start).Seconds()
 	res.SimSteps = acct.Steps()
 	res.SimEngines = acct.Engines()
+	res.PeakPending = acct.PeakPending()
+	if res.WallSeconds > 0 {
+		res.StepsPerSec = float64(res.SimSteps) / res.WallSeconds
+	}
 	if r.Opts.Account != nil {
 		// Fold the per-experiment work into the caller's whole-run account.
 		r.Opts.Account.AddFrom(acct)

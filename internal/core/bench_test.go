@@ -1,0 +1,43 @@
+package core
+
+import (
+	"testing"
+
+	"apenetsim/internal/sim"
+	"apenetsim/internal/torus"
+)
+
+// BenchmarkForwardHop measures the per-hop forwarding path of the torus —
+// routing decision, link lookup, wire reservation, metering — which runs
+// once per (packet, hop) and therefore hundreds of millions of times in a
+// 32^3 collective. Packets cross half an 8-ring in X, the streaming shape
+// that hits the calendar's tail fast path.
+func BenchmarkForwardHop(b *testing.B) {
+	for _, mode := range []LinkMeterMode{LinkMeterExact, LinkMeterSampled} {
+		b.Run(mode.String(), func(b *testing.B) {
+			eng := sim.New()
+			dims := torus.Dims{X: 8, Y: 8, Z: 8}
+			cfg := DefaultConfig()
+			cfg.LinkMeterMode = mode
+			net := NewNetwork(eng, dims, cfg.LinkBandwidth, cfg.HopLatency)
+			for rank := 0; rank < dims.Nodes(); rank++ {
+				net.register(&Card{Coord: dims.CoordOf(rank), Cfg: cfg})
+			}
+			src := torus.Coord{X: 0, Y: 0, Z: 0}
+			dst := torus.Coord{X: 4, Y: 0, Z: 0}
+			const wire = 4096 + 32
+			hops := 3 // forward books dst.X - 1 hops beyond the injector's first
+			b.ResetTimer()
+			var t sim.Time
+			for i := 0; i < b.N; i++ {
+				var tally routeTally
+				arrival, ok := net.forward(src, torus.XPlus, dst, t, wire, &tally)
+				if !ok {
+					b.Fatal("forward failed on a healthy torus")
+				}
+				t = arrival
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*hops), "ns/hop")
+		})
+	}
+}

@@ -30,9 +30,16 @@ type Network struct {
 	linkBW units.Bandwidth
 	hopLat sim.Duration
 
-	cards  map[int]*Card
-	links  map[linkKey]*pcie.Channel
-	meters map[linkKey]*linkMeter
+	cards map[int]*Card
+	// links and meters are indexed by rank*NumDirs+dir: the per-hop path
+	// is two array loads instead of two map lookups, which matters when a
+	// 32^3 torus books millions of hop reservations.
+	links  []*pcie.Channel
+	meters []linkMeter
+
+	// meterMode selects exact (default) or sampled link metering; adopted
+	// from the first registered card's Config, like the router.
+	meterMode LinkMeterMode
 
 	router    route.Router
 	routerSet bool // true once the first card's Config.Routing was applied
@@ -49,11 +56,49 @@ type linkKey struct {
 	dir  torus.Dir
 }
 
+// LinkMeterMode selects how much bookkeeping every hop reservation does.
+type LinkMeterMode int
+
+const (
+	// LinkMeterExact meters every hop reservation: per-link packet and
+	// wire-byte counters are exact and TotalLinkWireBytes satisfies the
+	// conservation law (sum over packets of wire size x hop count) to the
+	// byte. The default; bit-identical to the historical behavior.
+	LinkMeterExact LinkMeterMode = iota
+	// LinkMeterSampled meters one hop reservation in every
+	// LinkMeterSampleEvery per link, scaling its size up by the stride,
+	// and trims the link's reservation calendar at each sample point.
+	// Counters become estimates (see the linkMeter doc for the error
+	// bound) but the per-hop cost and the per-link calendar state stop
+	// growing with traffic — the mode for 32^3-scale runs. Timing is
+	// unaffected: reservations are identical in both modes.
+	LinkMeterSampled
+)
+
+// LinkMeterSampleEvery is the sampling stride of LinkMeterSampled: one
+// hop reservation in this many is metered per link.
+const LinkMeterSampleEvery = 16
+
+func (m LinkMeterMode) String() string {
+	if m == LinkMeterSampled {
+		return "sampled"
+	}
+	return "exact"
+}
+
 // linkMeter accumulates per-directed-link traffic counters.
+//
+// Under LinkMeterSampled only every LinkMeterSampleEvery-th reservation
+// is recorded, scaled up by the stride, so packets/wireBytes estimate the
+// true totals: each active link undercounts by its residual (< stride)
+// unsampled hops and mis-weighs size variation within each stride window.
+// With roughly uniform packet sizes the relative error on a link carrying
+// P packets is O(stride/P); peakBacklog becomes a sampled lower bound.
 type linkMeter struct {
 	packets     int64
 	wireBytes   int64
 	peakBacklog sim.Duration // longest wait for the wire seen by any packet
+	tick        int32        // sampled mode: reservations since the last sample
 }
 
 // LinkStat is a snapshot of one directed torus link's counters.
@@ -100,11 +145,16 @@ func NewNetwork(eng *sim.Engine, dims torus.Dims, linkBW units.Bandwidth, hopLat
 		linkBW:   linkBW,
 		hopLat:   hopLat,
 		cards:    make(map[int]*Card),
-		links:    make(map[linkKey]*pcie.Channel),
-		meters:   make(map[linkKey]*linkMeter),
+		links:    make([]*pcie.Channel, dims.Nodes()*int(torus.NumDirs)),
+		meters:   make([]linkMeter, dims.Nodes()*int(torus.NumDirs)),
 		router:   route.Config{}.New(),
 		linkDown: make(map[linkKey]bool),
 	}
+}
+
+// linkIndex flattens (rank, dir) into the links/meters slices.
+func (n *Network) linkIndex(rank int, dir torus.Dir) int {
+	return rank*int(torus.NumDirs) + int(dir)
 }
 
 // register wires a card into the torus, creating its six outgoing links.
@@ -120,15 +170,14 @@ func (n *Network) register(c *Card) {
 	}
 	if !n.routerSet {
 		n.router = c.Cfg.Routing.New()
+		n.meterMode = c.Cfg.LinkMeterMode
 		n.routerSet = true
 	}
 	c.Rank = rank
 	n.cards[rank] = c
 	for d := torus.Dir(0); d < torus.NumDirs; d++ {
 		name := fmt.Sprintf("torus.%d.%s", rank, d)
-		key := linkKey{rank, d}
-		n.links[key] = pcie.NewChannel(n.Eng, name, n.linkBW)
-		n.meters[key] = &linkMeter{}
+		n.links[n.linkIndex(rank, d)] = pcie.NewChannel(n.Eng, name, n.linkBW)
 	}
 }
 
@@ -147,13 +196,26 @@ func (n *Network) LinkBandwidth() units.Bandwidth { return n.linkBW }
 // reserveHop books one packet's wire time on the directed link (rank,dir)
 // and meters the traversal, returning when the burst starts and ends.
 func (n *Network) reserveHop(rank int, dir torus.Dir, from sim.Time, wire units.ByteSize) (start, end sim.Time) {
-	key := linkKey{rank, dir}
-	ch := n.links[key]
+	idx := n.linkIndex(rank, dir)
+	ch := n.links[idx]
 	if ch == nil {
 		panic(fmt.Sprintf("core: no link at rank %d dir %v", rank, dir))
 	}
 	start, end = ch.ReserveRaw(from, wire)
-	m := n.meters[key]
+	m := &n.meters[idx]
+	if n.meterMode == LinkMeterSampled {
+		m.tick++
+		if m.tick >= LinkMeterSampleEvery {
+			m.tick = 0
+			m.packets += LinkMeterSampleEvery
+			m.wireBytes += int64(wire) * LinkMeterSampleEvery
+			if wait := start.Sub(from); wait > m.peakBacklog {
+				m.peakBacklog = wait
+			}
+			ch.Trim()
+		}
+		return start, end
+	}
 	m.packets++
 	m.wireBytes += int64(wire)
 	if wait := start.Sub(from); wait > m.peakBacklog {
@@ -307,7 +369,7 @@ func (n *Network) LinkUp(from torus.Coord, dir torus.Dir) bool {
 // asking for the directed link (from, dir) at `at` would wait before its
 // burst starts — a dry-run of the reservation the hop would make.
 func (n *Network) QueueDelay(from torus.Coord, dir torus.Dir, at sim.Time, wire units.ByteSize) sim.Duration {
-	ch := n.links[linkKey{n.Dims.Rank(from), dir}]
+	ch := n.links[n.linkIndex(n.Dims.Rank(from), dir)]
 	if ch == nil {
 		return 0
 	}
@@ -318,32 +380,29 @@ func (n *Network) QueueDelay(from torus.Coord, dir torus.Dir, at sim.Time, wire 
 func (n *Network) StateEpoch() uint64 { return n.stateEpoch }
 
 // LinkStats snapshots every directed link that carried at least one
-// packet, ordered by (rank, dir). Loop-back traffic (destination == source
-// card) never touches torus links and is not counted.
+// metered packet, ordered by (rank, dir). Loop-back traffic (destination
+// == source card) never touches torus links and is not counted. Under
+// LinkMeterSampled the counters are the sampled estimates.
 func (n *Network) LinkStats() []LinkStat {
 	var out []LinkStat
-	for key, m := range n.meters {
+	for idx := range n.meters {
+		m := &n.meters[idx]
 		if m.packets == 0 {
 			continue
 		}
-		ch := n.links[key]
+		rank := idx / int(torus.NumDirs)
+		dir := torus.Dir(idx % int(torus.NumDirs))
 		out = append(out, LinkStat{
-			Rank:           key.rank,
-			Coord:          n.Dims.CoordOf(key.rank),
-			Dir:            key.dir,
+			Rank:           rank,
+			Coord:          n.Dims.CoordOf(rank),
+			Dir:            dir,
 			Packets:        m.packets,
 			WireBytes:      m.wireBytes,
-			Busy:           ch.BusyTime(),
+			Busy:           n.links[idx].BusyTime(),
 			PeakBacklog:    m.peakBacklog,
 			PeakQueueBytes: units.ByteSize(float64(n.linkBW) * m.peakBacklog.Seconds()),
 		})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Rank != out[j].Rank {
-			return out[i].Rank < out[j].Rank
-		}
-		return out[i].Dir < out[j].Dir
-	})
 	return out
 }
 
@@ -361,15 +420,30 @@ func (n *Network) HotLinks(k int) []LinkStat {
 }
 
 // TotalLinkWireBytes sums the wire bytes carried by every directed link.
-// Because each hop is metered, this equals the sum over packets of their
-// wire size times the hop count of their route — the conservation law the
-// tests pin down.
+// Under LinkMeterExact each hop is metered, so this equals the sum over
+// packets of their wire size times the hop count of their route — the
+// conservation law the tests pin down. Under LinkMeterSampled it is the
+// sampled estimate of the same quantity.
 func (n *Network) TotalLinkWireBytes() int64 {
 	var total int64
-	for _, m := range n.meters {
-		total += m.wireBytes
+	for i := range n.meters {
+		total += n.meters[i].wireBytes
 	}
 	return total
+}
+
+// MeterMode returns the link metering mode the network runs with.
+func (n *Network) MeterMode() LinkMeterMode { return n.meterMode }
+
+// TrimLinks drops expired reservation-calendar state on every link (see
+// pcie.Channel.Trim). Purely a memory/maintenance operation: no timing or
+// metering result changes.
+func (n *Network) TrimLinks() {
+	for _, ch := range n.links {
+		if ch != nil {
+			ch.Trim()
+		}
+	}
 }
 
 // TraceLinkStats emits one trace event per active link with its counters,

@@ -1,0 +1,42 @@
+package pcie
+
+import (
+	"math/rand"
+	"testing"
+
+	"apenetsim/internal/sim"
+	"apenetsim/internal/units"
+)
+
+// BenchmarkChannelReserve measures the two calendar shapes that matter:
+//
+// hot-tail is the long-lived-link pattern that dominates at torus scale —
+// a paced stream booking burst after burst just past the horizon, each
+// reservation separated by an idle gap so the intervals never coalesce.
+// The tail fast path makes this O(1) per reservation; the seed's linear
+// findSlot scan made it O(calendar length), i.e. quadratic over a run.
+//
+// random-insert scatters reservations over a wide window, forcing mid-
+// calendar insertion shifts — the worst case the binary search bounds.
+func BenchmarkChannelReserve(b *testing.B) {
+	b.Run("hot-tail", func(b *testing.B) {
+		eng := sim.New()
+		c := NewChannel(eng, "c", 4000*units.MBps)
+		from := sim.Time(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, end := c.Reserve(from, 4*units.KB)
+			from = end.Add(sim.Nanosecond)
+		}
+	})
+	b.Run("random-insert", func(b *testing.B) {
+		eng := sim.New()
+		c := NewChannel(eng, "c", 4000*units.MBps)
+		rng := rand.New(rand.NewSource(1))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			from := sim.Time(rng.Intn(int(100 * sim.Millisecond)))
+			c.ReserveRaw(from, 512)
+		}
+	})
+}

@@ -10,6 +10,7 @@ package pcie
 
 import (
 	"fmt"
+	"sort"
 
 	"apenetsim/internal/sim"
 	"apenetsim/internal/trace"
@@ -69,14 +70,27 @@ const (
 // bursts with idle time between them, and hardware interleaves unrelated
 // TLPs into those gaps — so must the model, or a long pre-booked copy
 // would falsely stall every later flow on the link.
+// The calendar is tuned for the dominant access pattern at scale — a
+// long-lived link booking burst after burst at or past its horizon:
+// such reservations take an O(1) tail fast path, gap searches start
+// with a binary search instead of a scan, and expired intervals are
+// dropped lazily by advancing a head index (no per-reservation copying).
 type Channel struct {
-	eng       *sim.Engine
-	name      string
-	bw        units.Bandwidth
-	busy      []interval // sorted by start, non-overlapping
+	eng  *sim.Engine
+	name string
+	bw   units.Bandwidth
+	// busy[head:] is the live calendar, sorted by start, non-overlapping.
+	// busy[:head] holds expired intervals awaiting compaction (see prune).
+	busy      []interval
+	head      int
 	busyTime  sim.Duration
 	bytes     int64
 	wireBytes int64
+	// lastN/lastDur memoize the latest wire-time conversion: streams book
+	// uniform burst sizes back to back, so the float divide + round in
+	// units.TransferTime would recompute the same value almost every call.
+	lastN   units.ByteSize
+	lastDur sim.Duration
 }
 
 type interval struct {
@@ -92,14 +106,17 @@ func NewChannel(eng *sim.Engine, name string, bw units.Bandwidth) *Channel {
 // after from, and the index where its interval would be inserted. Pure
 // read of the busy list — reserve books the slot, Probe only looks.
 func (c *Channel) findSlot(from sim.Time, d sim.Duration) (start sim.Time, idx int) {
-	// Skip intervals that end at or before from.
-	i := 0
-	for i < len(c.busy) && c.busy[i].end <= from {
-		i++
+	live := c.busy[c.head:]
+	n := len(live)
+	// Tail fast path: the burst lands at or past the horizon.
+	if n == 0 || from >= live[n-1].end {
+		return from, c.head + n
 	}
+	// Skip intervals that end at or before from.
+	i := sort.Search(n, func(k int) bool { return live[k].end > from })
 	start = from
-	for i < len(c.busy) {
-		iv := c.busy[i]
+	for i < n {
+		iv := live[i]
 		if start.Add(d) <= iv.start {
 			break // fits in the gap before interval i
 		}
@@ -108,7 +125,7 @@ func (c *Channel) findSlot(from sim.Time, d sim.Duration) (start sim.Time, idx i
 		}
 		i++
 	}
-	return start, i
+	return start, c.head + i
 }
 
 // reserve books d of channel time in the first idle gap at or after from.
@@ -122,11 +139,21 @@ func (c *Channel) reserve(from sim.Time, d sim.Duration) (start, end sim.Time) {
 	c.prune()
 	start, i := c.findSlot(from, d)
 	end = start.Add(d)
+	c.busyTime += d
+	if i == len(c.busy) {
+		// Tail fast path: extend the last interval for back-to-back
+		// streams, else append — no insertion shift either way.
+		if i > c.head && c.busy[i-1].end == start {
+			c.busy[i-1].end = end
+		} else {
+			c.busy = append(c.busy, interval{start, end})
+		}
+		return start, end
+	}
 	c.busy = append(c.busy, interval{})
 	copy(c.busy[i+1:], c.busy[i:])
 	c.busy[i] = interval{start, end}
 	c.coalesce(i)
-	c.busyTime += d
 	return start, end
 }
 
@@ -137,29 +164,70 @@ func (c *Channel) coalesce(i int) {
 		c.busy[i].end = c.busy[i+1].end
 		c.busy = append(c.busy[:i+1], c.busy[i+2:]...)
 	}
-	if i > 0 && c.busy[i-1].end == c.busy[i].start {
+	if i > c.head && c.busy[i-1].end == c.busy[i].start {
 		c.busy[i-1].end = c.busy[i].end
 		c.busy = append(c.busy[:i], c.busy[i+1:]...)
 	}
 }
 
 // prune drops intervals that ended before the current simulation time: no
-// reservation can be placed there anymore.
+// reservation can be placed there anymore. Dropping is lazy — the head
+// index advances past expired entries and the backing array is compacted
+// only once the dead prefix dominates, keeping steady-state reservation
+// free of per-call copying.
 func (c *Channel) prune() {
 	now := c.eng.Now()
-	k := 0
-	for k < len(c.busy) && c.busy[k].end <= now {
-		k++
+	live := c.busy[c.head:]
+	if len(live) == 0 || live[0].end > now {
+		return // nothing expired: the overwhelmingly common case
 	}
-	if k > 0 {
-		c.busy = append(c.busy[:0], c.busy[k:]...)
+	k := sort.Search(len(live), func(i int) bool { return live[i].end > now })
+	c.head += k
+	if c.head > len(c.busy)-c.head {
+		c.compact()
+	}
+}
+
+// compact reclaims the expired prefix.
+func (c *Channel) compact() {
+	if c.head == 0 {
+		return
+	}
+	n := copy(c.busy, c.busy[c.head:])
+	c.busy = c.busy[:n]
+	c.head = 0
+}
+
+// Trim aggressively drops calendar state that can no longer affect any
+// future reservation — intervals that ended at or before the current
+// simulation time — and releases oversized backing memory. Reserve prunes
+// lazily on its own; long-lived channels (torus links on a 32^3 run) call
+// Trim from maintenance points so their calendars stay sized to the live
+// reservation window instead of the high-water mark. Trim never changes
+// what any later Reserve, ReserveRaw or Probe returns.
+func (c *Channel) Trim() {
+	c.prune()
+	c.compact()
+	if cap(c.busy) >= 64 && len(c.busy) <= cap(c.busy)/4 {
+		c.busy = append(make([]interval, 0, len(c.busy)), c.busy...)
 	}
 }
 
 // WireTime returns the serialization time of n payload bytes including
 // per-TLP framing overhead.
 func (c *Channel) WireTime(n units.ByteSize) sim.Duration {
-	return units.TransferTime(wireSize(n), c.bw)
+	return c.transfer(wireSize(n))
+}
+
+// transfer converts raw wire bytes to serialization time, memoized on the
+// last burst size.
+func (c *Channel) transfer(n units.ByteSize) sim.Duration {
+	if n == c.lastN {
+		return c.lastDur
+	}
+	d := units.TransferTime(n, c.bw)
+	c.lastN, c.lastDur = n, d
+	return d
 }
 
 func wireSize(n units.ByteSize) units.ByteSize {
@@ -182,7 +250,7 @@ func (c *Channel) Reserve(from sim.Time, n units.ByteSize) (start, end sim.Time)
 // ReserveRaw books n raw wire bytes (no framing added): used for protocol
 // traffic whose size is already the on-wire size, like read request TLPs.
 func (c *Channel) ReserveRaw(from sim.Time, n units.ByteSize) (start, end sim.Time) {
-	start, end = c.reserve(from, units.TransferTime(n, c.bw))
+	start, end = c.reserve(from, c.transfer(n))
 	c.wireBytes += int64(n)
 	return start, end
 }
@@ -196,7 +264,7 @@ func (c *Channel) Probe(from sim.Time, n units.ByteSize) (start sim.Time) {
 	if now := c.eng.Now(); from < now {
 		from = now
 	}
-	d := units.TransferTime(n, c.bw)
+	d := c.transfer(n)
 	if d <= 0 {
 		return from
 	}
@@ -252,11 +320,16 @@ type Fabric struct {
 
 	root *Device
 	devs map[string]*Device
+	// paths memoizes Path results: routes are pure functions of the device
+	// tree, and the hot paths (per-packet GPU fetch and RX DMA programming)
+	// resolve the same (src, dst) pair over and over.
+	paths map[[2]*Device]*Path
 }
 
 // NewFabric creates a fabric with a root complex named rcName.
 func NewFabric(eng *sim.Engine, rec *trace.Recorder, name, rcName string) *Fabric {
-	f := &Fabric{Eng: eng, Rec: rec, Name: name, devs: map[string]*Device{}}
+	f := &Fabric{Eng: eng, Rec: rec, Name: name, devs: map[string]*Device{},
+		paths: map[[2]*Device]*Path{}}
 	f.root = &Device{Name: rcName, fab: f}
 	f.devs[rcName] = f.root
 	return f
@@ -305,8 +378,21 @@ type Path struct {
 	latency  sim.Duration
 }
 
-// Path computes the route from a to b through their common ancestor.
+// Path returns the route from a to b through their common ancestor.
+// Routes never change once both devices are attached (the hierarchy only
+// grows leaves), so results are cached and shared; callers must treat the
+// returned Path as read-only.
 func (f *Fabric) Path(a, b *Device) *Path {
+	if p, ok := f.paths[[2]*Device{a, b}]; ok {
+		return p
+	}
+	p := f.computePath(a, b)
+	f.paths[[2]*Device{a, b}] = p
+	return p
+}
+
+// computePath resolves the route from a to b.
+func (f *Fabric) computePath(a, b *Device) *Path {
 	if a == b {
 		return &Path{fab: f, From: a, To: b}
 	}

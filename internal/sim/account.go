@@ -18,6 +18,9 @@ import "sync/atomic"
 type Account struct {
 	steps   atomic.Uint64
 	engines atomic.Uint64
+	// peakPending is the largest event-queue high-water mark reported by
+	// any attached engine — the run's peak simultaneous event load.
+	peakPending atomic.Uint64
 }
 
 // Steps returns the total number of events executed by attached engines
@@ -37,6 +40,16 @@ func (a *Account) Engines() uint64 {
 	return a.engines.Load()
 }
 
+// PeakPending returns the largest event-queue high-water mark any
+// attached engine reported (flushed at the end of each Run and at
+// Shutdown).
+func (a *Account) PeakPending() uint64 {
+	if a == nil {
+		return 0
+	}
+	return a.peakPending.Load()
+}
+
 // AddFrom folds another account's totals into a (nil-safe on both sides).
 func (a *Account) AddFrom(b *Account) {
 	if a == nil || b == nil {
@@ -48,6 +61,7 @@ func (a *Account) AddFrom(b *Account) {
 	if n := b.Engines(); n > 0 {
 		a.engines.Add(n)
 	}
+	a.notePeakPending(b.PeakPending())
 }
 
 func (a *Account) addSteps(n uint64) {
@@ -59,5 +73,18 @@ func (a *Account) addSteps(n uint64) {
 func (a *Account) addEngine() {
 	if a != nil {
 		a.engines.Add(1)
+	}
+}
+
+// notePeakPending raises the recorded peak to n (atomic max).
+func (a *Account) notePeakPending(n uint64) {
+	if a == nil || n == 0 {
+		return
+	}
+	for {
+		cur := a.peakPending.Load()
+		if n <= cur || a.peakPending.CompareAndSwap(cur, n) {
+			return
+		}
 	}
 }

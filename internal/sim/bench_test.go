@@ -1,0 +1,25 @@
+package sim_test
+
+import (
+	"testing"
+
+	"apenetsim/internal/sim"
+)
+
+// BenchmarkEngineStep measures the steady-state cost of one executed
+// event — heap pop, callback, reschedule, heap push — with a realistic
+// standing population of pending events (a 32^3 collective holds tens of
+// thousands in flight).
+func BenchmarkEngineStep(b *testing.B) {
+	eng := sim.New()
+	const pending = 1024
+	var tick func()
+	tick = func() { eng.After(pending*sim.Nanosecond, tick) }
+	for i := 0; i < pending; i++ {
+		eng.After(sim.Duration(i)*sim.Nanosecond, tick)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step()
+	}
+}

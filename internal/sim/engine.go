@@ -28,6 +28,7 @@ type Engine struct {
 	heap    []*Event
 	seq     uint64
 	nsteps  uint64
+	peak    int // high-water mark of the event queue
 	procs   map[*Proc]struct{}
 	account *Account
 	flushed uint64 // steps already reported to the account
@@ -51,6 +52,11 @@ func (e *Engine) Now() Time { return e.now }
 
 // Steps returns the number of events executed so far.
 func (e *Engine) Steps() uint64 { return e.nsteps }
+
+// PeakPending returns the largest number of simultaneously queued events
+// seen so far — the event-queue high-water mark, a direct measure of how
+// much simulation state a run keeps in flight.
+func (e *Engine) PeakPending() int { return e.peak }
 
 // At schedules fn to run at absolute time t. Scheduling in the past
 // panics: that is always a model bug.
@@ -105,12 +111,14 @@ func (e *Engine) Run() {
 	e.flushAccount()
 }
 
-// flushAccount reports steps executed since the last flush.
+// flushAccount reports steps executed since the last flush and the
+// event-queue high-water mark.
 func (e *Engine) flushAccount() {
 	if e.nsteps > e.flushed {
 		e.account.addSteps(e.nsteps - e.flushed)
 		e.flushed = e.nsteps
 	}
+	e.account.notePeakPending(uint64(e.peak))
 }
 
 // RunUntil executes events with timestamps <= t, then sets the clock to t.
@@ -178,6 +186,9 @@ func eventLess(a, b *Event) bool {
 func (e *Engine) push(ev *Event) {
 	ev.idx = len(e.heap)
 	e.heap = append(e.heap, ev)
+	if len(e.heap) > e.peak {
+		e.peak = len(e.heap)
+	}
 	e.up(ev.idx)
 }
 
