@@ -20,6 +20,7 @@
 //	apebench -run 'route-*,coll-a2a-adaptive'  # routing experiments (adaptive, fault-aware)
 //	apebench -run coll-a2a -router adaptive -hotlinks 3
 //	apebench -run coll-scaling,scale-sweep -scale  # 16^3/32^3 LQCD-scale rows
+//	apebench -run scale-sweep -dims 16,16,16 -shards 4  # 4 parallel engines, bit-identical results
 //	apebench -all -quick -parallel 4 -json out.json
 //	apebench -all -quick -baseline BENCH_2026-07-27.json -tolerance 1
 //	apebench -all -quick -json auto   # writes BENCH_<date>.json
@@ -141,6 +142,7 @@ func main() {
 	tlb := flag.Bool("tlb", false, "run every card with the hardware RX TLB (28 nm follow-up) instead of the firmware V2P walk")
 	router := flag.String("router", "", "torus routing engine: dor (default), adaptive, or fault")
 	scale := flag.Bool("scale", false, "include the LQCD-scale 16^3/32^3 rows in size-sweeping experiments (minutes of wall time)")
+	shards := flag.Int("shards", 1, "run the collective-world experiments across N parallel per-slab engines (1 = serial; results are bit-identical)")
 	hotlinks := flag.Int("hotlinks", 0, "print the top-N congested links after each coll-*/route-* experiment")
 	flag.Parse()
 
@@ -181,9 +183,12 @@ func main() {
 	runner := bench.Runner{
 		Parallel: *parallel,
 		Opts: bench.Options{Quick: *quick, Seed: *seed, Dims: dims, TLB: *tlb,
-			Router: routerMode, HotLinks: *hotlinks, Scale: *scale},
+			Router: routerMode, HotLinks: *hotlinks, Scale: *scale, Shards: *shards},
 		Progress: func(r bench.Result) {
 			status := fmt.Sprintf("%.1fs, %d sim steps, %s steps/s", r.WallSeconds, r.SimSteps, fmtRate(r.StepsPerSec))
+			if r.ShardRounds > 0 {
+				status += fmt.Sprintf(", %.2f busy shards", float64(r.ShardBusyRounds)/float64(r.ShardRounds))
+			}
 			if r.Err != "" {
 				status = "FAILED: " + r.Err
 			}
@@ -252,10 +257,11 @@ func main() {
 			os.Exit(1)
 		}
 		if base.Quick != report.Quick || base.Seed != report.Seed || base.Dims != report.Dims ||
-			base.TLB != report.TLB || base.Router != report.Router || base.Scale != report.Scale {
-			fmt.Fprintf(os.Stderr, "apebench: incompatible baseline %s (quick=%v seed=%d dims=%q tlb=%v router=%q scale=%v, this run quick=%v seed=%d dims=%q tlb=%v router=%q scale=%v); rerun with matching flags\n",
-				*baseline, base.Quick, base.Seed, base.Dims, base.TLB, base.Router, base.Scale,
-				report.Quick, report.Seed, report.Dims, report.TLB, report.Router, report.Scale)
+			base.TLB != report.TLB || base.Router != report.Router || base.Scale != report.Scale ||
+			base.Shards != report.Shards {
+			fmt.Fprintf(os.Stderr, "apebench: incompatible baseline %s (quick=%v seed=%d dims=%q tlb=%v router=%q scale=%v shards=%d, this run quick=%v seed=%d dims=%q tlb=%v router=%q scale=%v shards=%d); rerun with matching flags\n",
+				*baseline, base.Quick, base.Seed, base.Dims, base.TLB, base.Router, base.Scale, base.Shards,
+				report.Quick, report.Seed, report.Dims, report.TLB, report.Router, report.Scale, report.Shards)
 			os.Exit(1)
 		}
 		// Keep stdout parseable in -csv mode; the diff goes to stderr there.

@@ -32,6 +32,7 @@ func collWorld(o Options, dims torus.Dims) (*sim.Engine, *coll.World) {
 		Card:      &cfg,
 		Buf:       core.GPUMem,
 		SlotBytes: collSlot,
+		Shards:    o.Shards,
 	})
 	must(err)
 	return eng, w
@@ -266,6 +267,14 @@ func CollAllToAll(o Options) *Report {
 	n := dims.Nodes()
 	elapsed := make([]sim.Duration, len(sizes))
 
+	// All-to-all stays serial under -shards: its synchronized burst piles
+	// exact-timestamp ties onto the shared per-card credit pools, and the
+	// serial engine breaks those ties by heap insertion order — global
+	// state no shard-local rule can reproduce. The makespans come out
+	// identical anyway, but the tie-dependent cells (peak backlog, step
+	// counts) shift, and the -shards contract is bit-identity, not
+	// just-the-timings identity (TestShardedEquivalence).
+	o.Shards = 1
 	eng, w := collWorld(o, dims)
 	w.Run(func(p *sim.Proc, r *coll.Rank) {
 		r.AllToAll(p, 4*units.KB, nil) // warm-up

@@ -53,6 +53,15 @@ type Options struct {
 	// millions of events; set from apebench's -scale flag and recorded in
 	// the run JSON.
 	Scale bool
+	// Shards, when >1, runs the collective-world experiments (coll-* and
+	// scale-sweep) sharded: the torus is sliced into that many slabs,
+	// each on its own event engine, executed in parallel under the
+	// conservative protocol of sim.Group (see coll.Config.Shards). The
+	// results are pinned bit-identical to the serial engine by
+	// TestShardedEquivalence; worlds whose configuration is not
+	// shard-exact (adaptive/fault routers, tracing) fall back to serial.
+	// Set from apebench's -shards flag and recorded in the run JSON.
+	Shards int
 	// HotLinks, when positive, makes the experiments that drive collective
 	// torus traffic (the coll-* and route-* families) record their top-N
 	// congested links into the report (apebench -hotlinks); zero keeps

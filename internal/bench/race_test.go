@@ -1,0 +1,11 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. A few suite-level tests trim their heaviest sub-cases under
+// race (see TestShardedEquivalence): on top of the detector's 5-10x
+// slowdown the full matrix blows the default per-package test timeout,
+// and the trimmed cases add no race coverage — they re-run code paths
+// the kept cases already exercise under race.
+const raceEnabled = true

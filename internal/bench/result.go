@@ -33,6 +33,15 @@ type Result struct {
 	// hold. Deterministic. Additive field: older schema-1 readers
 	// ignore it.
 	PeakPending uint64 `json:"peak_pending,omitempty"`
+	// ShardRounds and ShardBusyRounds describe sharded (-shards) runs:
+	// the conservative windows the experiment's engine groups executed,
+	// and the sum over windows of shards that had work. Their ratio is
+	// the average parallel occupancy — the deterministic ceiling on
+	// multi-core speedup (the achieved speedup is the steps_per_sec ratio
+	// between runs at different -shards). Additive fields: older schema-1
+	// readers ignore them, serial runs omit them.
+	ShardRounds     uint64 `json:"shard_rounds,omitempty"`
+	ShardBusyRounds uint64 `json:"shard_busy_rounds,omitempty"`
 	// Seed is the per-experiment seed the runner derived (0 = the
 	// experiment's paper default).
 	Seed int64 `json:"seed,omitempty"`
@@ -65,7 +74,13 @@ type Run struct {
 	// Scale records a -scale run: size-sweeping experiments included
 	// their LQCD-scale (16^3/32^3) rows. Additive field: older schema-1
 	// readers ignore it.
-	Scale   bool     `json:"scale,omitempty"`
+	Scale bool `json:"scale,omitempty"`
+	// Shards records a -shards override: the collective-world experiments
+	// ran across that many parallel per-slab engines (pinned bit-identical
+	// to serial, except scale-sweep's peak-pending cell, which measures
+	// per-engine queues). Additive field: older schema-1 readers ignore
+	// it.
+	Shards  int      `json:"shards,omitempty"`
 	Results []Result `json:"results"`
 }
 

@@ -59,6 +59,11 @@ func (r *Runner) Run(exps []Experiment) *Run {
 	if r.Opts.Dims.Valid() {
 		run.Dims = r.Opts.Dims.String()
 	}
+	if r.Opts.Shards > 1 {
+		// 0 and 1 are both the serial engine; normalize so -shards 1 runs
+		// stay baseline-compatible with pre-shards artifacts.
+		run.Shards = r.Opts.Shards
+	}
 	if r.Opts.Router != route.ModeDimensionOrder {
 		run.Router = r.Opts.Router.String()
 	}
@@ -111,6 +116,7 @@ func (r *Runner) runOne(e Experiment) Result {
 	res.SimSteps = acct.Steps()
 	res.SimEngines = acct.Engines()
 	res.PeakPending = acct.PeakPending()
+	res.ShardRounds, res.ShardBusyRounds = acct.ShardRounds()
 	if res.WallSeconds > 0 {
 		res.StepsPerSec = float64(res.SimSteps) / res.WallSeconds
 	}

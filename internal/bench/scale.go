@@ -67,6 +67,7 @@ func ScaleSweep(o Options) *Report {
 			Card:      &cfg,
 			Buf:       core.GPUMem,
 			SlotBytes: collSlot,
+			Shards:    o.Shards,
 		})
 		must(err)
 		var haloT, reduceT sim.Duration

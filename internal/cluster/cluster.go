@@ -27,6 +27,10 @@ type NodeConfig struct {
 	Card     *core.Config // nil: no APEnet+ card
 	IB       *ib.Config   // nil: no HCA
 	HopLat   sim.Duration // PCIe hop latency (switch/RC traversal)
+	// Eng, when non-nil, is the engine this node's components (fabric,
+	// GPUs, card) are built on — the node's shard in a sharded world.
+	// nil means the cluster engine, the serial default.
+	Eng *sim.Engine
 }
 
 // Node is one assembled machine.
@@ -77,7 +81,11 @@ func (cl *Cluster) buildNode(i int, cfg NodeConfig) (*Node, error) {
 	if hopLat == 0 {
 		hopLat = 150 * sim.Nanosecond
 	}
-	fab := pcie.NewFabric(cl.Eng, cl.Rec, fmt.Sprintf("node%d", i), "rc")
+	eng := cfg.Eng
+	if eng == nil {
+		eng = cl.Eng
+	}
+	fab := pcie.NewFabric(eng, cl.Rec, fmt.Sprintf("node%d", i), "rc")
 	fab.Root().CompletionLatency = HostMemCplLatency
 	// All endpoints behind one PLX switch: the "ideal platform" of the
 	// paper's Table I footnote (GPU and APEnet+ linked by a PLX switch).
@@ -97,7 +105,7 @@ func (cl *Cluster) buildNode(i int, cfg NodeConfig) (*Node, error) {
 		Switch:  sw,
 	}
 	for gi, spec := range cfg.GPUSpecs {
-		g := gpu.New(cl.Eng, fab, fmt.Sprintf("node%d.gpu%d", i, gi), spec, sw, pcie.Gen2x16, hopLat)
+		g := gpu.New(eng, fab, fmt.Sprintf("node%d.gpu%d", i, gi), spec, sw, pcie.Gen2x16, hopLat)
 		node.GPUs = append(node.GPUs, g)
 	}
 	if cfg.Card != nil {
@@ -105,7 +113,7 @@ func (cl *Cluster) buildNode(i int, cfg NodeConfig) (*Node, error) {
 			cl.Net = core.NewNetwork(cl.Eng, cl.Dims, cfg.Card.LinkBandwidth, cfg.Card.HopLatency)
 		}
 		pci := fab.Attach(fmt.Sprintf("node%d.apenet", i), sw, pcie.Gen2x8, hopLat)
-		card, err := core.NewCard(cl.Eng, *cfg.Card, cl.Rec, fmt.Sprintf("ape%d", i),
+		card, err := core.NewCard(eng, *cfg.Card, cl.Rec, fmt.Sprintf("ape%d", i),
 			fab, pci, node.HostMem, cl.Net, node.Coord)
 		if err != nil {
 			return nil, err

@@ -29,6 +29,7 @@ import (
 	"apenetsim/internal/core"
 	"apenetsim/internal/gpu"
 	"apenetsim/internal/rdma"
+	"apenetsim/internal/route"
 	"apenetsim/internal/sim"
 	"apenetsim/internal/torus"
 	"apenetsim/internal/trace"
@@ -52,6 +53,17 @@ type Config struct {
 	// Rec, when non-nil, records trace events (and allows
 	// Network.TraceLinkStats snapshots).
 	Rec *trace.Recorder
+	// Shards asks for sharded execution: the torus is sliced into that
+	// many slabs along its longest dimension, each slab's nodes live on
+	// their own sim engine, and the engines run in parallel under the
+	// conservative protocol of sim.Group with the cable hop latency as
+	// lookahead. 0 or 1 is the serial engine, bit-identical to every
+	// earlier release. The request is clamped to the slab axis length,
+	// and ignored entirely (serial fallback) when the configuration is
+	// not shard-exact: non-dimension-ordered routing reads live per-link
+	// state whose evolution is order-sensitive, and a trace recorder
+	// would interleave emits from parallel workers.
+	Shards int
 }
 
 // World is a set of SPMD ranks joined by a simulated APEnet+ torus.
@@ -62,7 +74,8 @@ type World struct {
 	Cfg   Config
 	Ranks []*Rank
 
-	bar *barrier
+	bar    *barrier
+	shards int // effective shard count (1 = serial)
 }
 
 // Rank is one collective participant: a node, its card endpoint, and the
@@ -124,13 +137,38 @@ func NewWorld(eng *sim.Engine, cfg Config) (*World, error) {
 		specs = []gpu.Spec{gpu.Fermi2050()}
 	}
 	n := cfg.Dims.Nodes()
+
+	// Sharded execution: slice the torus into slabs along its longest
+	// dimension and give each slab its own engine in a sim.Group. Only
+	// shard what stays bit-exact — see Config.Shards.
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	if cc.Routing.Mode != route.ModeDimensionOrder || cfg.Rec != nil || cc.HopLatency <= 0 {
+		shards = 1
+	}
+	axis := slabAxis(cfg.Dims)
+	if ax := axisLen(cfg.Dims, axis); shards > ax {
+		shards = ax
+	}
+	var g *sim.Group
+	engOf := func(i int) *sim.Engine { return eng }
+	if shards > 1 {
+		g = sim.NewGroup(eng, shards, cc.HopLatency)
+		engOf = func(i int) *sim.Engine {
+			co := axisCoord(cfg.Dims.CoordOf(i), axis)
+			return g.Engine(co * shards / axisLen(cfg.Dims, axis))
+		}
+	}
+
 	cl, err := cluster.New(eng, cfg.Rec, cfg.Dims, n, func(i int) cluster.NodeConfig {
-		return cluster.NodeConfig{GPUSpecs: specs, Card: &cc}
+		return cluster.NodeConfig{GPUSpecs: specs, Card: &cc, Eng: engOf(i)}
 	})
 	if err != nil {
 		return nil, err
 	}
-	w := &World{Eng: eng, Cl: cl, Dims: cfg.Dims, Cfg: cfg, bar: newBarrier(eng, n)}
+	w := &World{Eng: eng, Cl: cl, Dims: cfg.Dims, Cfg: cfg, bar: newBarrier(eng, n, g), shards: shards}
 	for i, node := range cl.Nodes {
 		w.Ranks = append(w.Ranks, &Rank{
 			ID:      i,
@@ -147,13 +185,54 @@ func NewWorld(eng *sim.Engine, cfg Config) (*World, error) {
 // Net returns the torus network (for link stats).
 func (w *World) Net() *core.Network { return w.Cl.Net }
 
+// Shards returns the effective shard count the world runs on (1 = the
+// serial engine; a Config.Shards request may have been clamped away).
+func (w *World) Shards() int { return w.shards }
+
+// slabAxis picks the dimension to slice into slabs: the longest one, with
+// ties broken toward Z. Dimension-ordered routing corrects X, then Y, then
+// Z, so slabs along the latest long axis keep the earlier correction hops
+// inside the packet's current slab and minimize cross-shard traffic.
+func slabAxis(d torus.Dims) int {
+	axis, size := 0, d.X
+	if d.Y >= size {
+		axis, size = 1, d.Y
+	}
+	if d.Z >= size {
+		axis = 2
+	}
+	return axis
+}
+
+func axisLen(d torus.Dims, axis int) int {
+	switch axis {
+	case 0:
+		return d.X
+	case 1:
+		return d.Y
+	}
+	return d.Z
+}
+
+func axisCoord(c torus.Coord, axis int) int {
+	switch axis {
+	case 0:
+		return c.X
+	case 1:
+		return c.Y
+	}
+	return c.Z
+}
+
 // Run spawns one process per rank executing body and drives the engine to
 // completion. Each rank registers its buffers first; body starts after a
 // world barrier, so ranks enter aligned.
 func (w *World) Run(body func(p *sim.Proc, r *Rank)) {
 	for _, r := range w.Ranks {
 		r := r
-		w.Eng.Go(fmt.Sprintf("coll.rank%d", r.ID), func(p *sim.Proc) {
+		// Each rank's process lives on its node's engine — its shard's
+		// engine in a sharded world, the world engine (identical) serially.
+		r.node.Card.Eng.Go(fmt.Sprintf("coll.rank%d", r.ID), func(p *sim.Proc) {
 			r.setup(p)
 			w.Barrier(p)
 			body(p, r)
@@ -288,19 +367,33 @@ func (r *Rank) drainSends(p *sim.Proc) {
 	}
 }
 
-// barrier is a counter-based rendezvous over a Signal.
+// barrier is a counter-based rendezvous over a Signal; sharded worlds use
+// a coordinator rendezvous on shard 0 instead (waitSharded).
 type barrier struct {
 	sig     *sim.Signal
 	n       int
 	arrived int
 	gen     uint64
+
+	g     *sim.Group       // nil: serial Signal barrier
+	waits []barrierArrival // sharded: arrivals so far, in ingestion order
 }
 
-func newBarrier(eng *sim.Engine, n int) *barrier {
-	return &barrier{sig: sim.NewSignal(eng), n: n}
+type barrierArrival struct {
+	p     *sim.Proc
+	shard int
+	t     sim.Time
+}
+
+func newBarrier(eng *sim.Engine, n int, g *sim.Group) *barrier {
+	return &barrier{sig: sim.NewSignal(eng), n: n, g: g}
 }
 
 func (b *barrier) wait(p *sim.Proc) {
+	if b.g != nil {
+		b.waitSharded(p)
+		return
+	}
 	b.arrived++
 	if b.arrived == b.n {
 		b.arrived = 0
@@ -311,5 +404,37 @@ func (b *barrier) wait(p *sim.Proc) {
 	gen := b.gen
 	for b.gen == gen {
 		b.sig.Wait(p, "coll.barrier")
+	}
+}
+
+// waitSharded posts the arrival to the coordinator (shard 0) as an infra
+// message — the serial barrier's bookkeeping costs no events — and parks
+// until the coordinator wakes it at the rendezvous time.
+func (b *barrier) waitSharded(p *sim.Proc) {
+	e, t, proc := p.Engine(), p.Now(), p
+	sh := e.Shard()
+	e.Post(0, t, true, func() { b.arrive(proc, sh, t) })
+	p.Park("coll.barrier")
+}
+
+// arrive runs on shard 0. The n-th arrival completes the rendezvous: all
+// ranks resume at the latest arrival time. Arrivals were ingested in
+// deterministic merge-key order, so the last one carries the maximum
+// stamp; its wake is infra (the serial barrier's last arriver continues
+// inline, costing no event) while the other n-1 wakes are counted events,
+// matching the serial Broadcast's cost exactly. A rank cannot reach the
+// next barrier before this one completes, so one arrival list suffices.
+func (b *barrier) arrive(p *sim.Proc, shard int, t sim.Time) {
+	b.waits = append(b.waits, barrierArrival{p, shard, t})
+	if len(b.waits) < b.n {
+		return
+	}
+	waits := b.waits
+	b.waits = nil
+	maxT := waits[len(waits)-1].t
+	co := b.g.Engine(0)
+	for i, w := range waits {
+		w := w
+		co.Post(w.shard, maxT, i == len(waits)-1, func() { w.p.Engine().Wake(w.p) })
 	}
 }

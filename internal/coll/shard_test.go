@@ -1,0 +1,131 @@
+package coll
+
+import (
+	"reflect"
+	"testing"
+
+	"apenetsim/internal/core"
+	"apenetsim/internal/route"
+	"apenetsim/internal/sim"
+	"apenetsim/internal/torus"
+	"apenetsim/internal/units"
+)
+
+// shardRun executes one representative SPMD program — a +X halo shift,
+// a barrier-timed all-to-neighbors burst, and a loopback-free drain — on
+// a 4x2x2 torus with the requested shard count, and returns everything
+// observable: per-rank timings, per-card stats, total counted sim steps,
+// and the final clock.
+type shardOutcome struct {
+	Durs  []sim.Duration
+	Stats []core.CardStats
+	Steps uint64
+	Now   sim.Time
+}
+
+func shardRun(t *testing.T, shards int, wantShards int) shardOutcome {
+	t.Helper()
+	eng := sim.New()
+	w, err := NewWorld(eng, Config{
+		Dims:   torus.Dims{X: 4, Y: 2, Z: 2},
+		Shards: shards,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Shards() != wantShards {
+		t.Fatalf("Shards() = %d, want %d", w.Shards(), wantShards)
+	}
+	durs := make([]sim.Duration, len(w.Ranks))
+	w.Run(func(p *sim.Proc, r *Rank) {
+		n := len(r.w.Ranks)
+		// Phase 1: +X halo shift.
+		base := r.opBase()
+		right := r.w.Dims.Rank(r.w.Dims.Neighbor(r.Coord, torus.XPlus))
+		left := r.w.Dims.Rank(r.w.Dims.Neighbor(r.Coord, torus.XMinus))
+		durs[r.ID] = r.Timed(p, func() {
+			r.put(p, right, 64*units.KB, base, []float64{float64(r.ID)})
+			m := r.get(p, base, left)
+			if int(m.Vals[0]) != left {
+				t.Errorf("rank %d: halo from %d carried %v", r.ID, left, m.Vals)
+			}
+			r.drainSends(p)
+		})
+		// Phase 2: scatter to every other rank (crosses every shard
+		// boundary, including multi-hop paths).
+		base = r.opBase()
+		r.Timed(p, func() {
+			for d := 1; d < n; d++ {
+				r.put(p, (r.ID+d)%n, 4*units.KB, base, nil)
+			}
+			for d := 1; d < n; d++ {
+				r.get(p, base, (r.ID+n-d)%n)
+			}
+			r.drainSends(p)
+		})
+	})
+	out := shardOutcome{Durs: durs, Now: eng.Now()}
+	for _, r := range w.Ranks {
+		out.Stats = append(out.Stats, r.node.Card.Stats())
+	}
+	if g := eng.Group(); g != nil {
+		for i := 0; i < g.Shards(); i++ {
+			out.Steps += g.Engine(i).Steps()
+		}
+	} else {
+		out.Steps = eng.Steps()
+	}
+	return out
+}
+
+// TestShardedCollEquivalence pins the sharded world to the serial one:
+// identical per-rank timings, per-card statistics, final clock, and total
+// counted event steps at 1, 2, and 4 shards.
+func TestShardedCollEquivalence(t *testing.T) {
+	serial := shardRun(t, 1, 1)
+	for _, shards := range []int{2, 4} {
+		got := shardRun(t, shards, shards)
+		if !reflect.DeepEqual(got, serial) {
+			if got.Now != serial.Now {
+				t.Errorf("shards=%d: final clock %v, serial %v", shards, got.Now, serial.Now)
+			}
+			if got.Steps != serial.Steps {
+				t.Errorf("shards=%d: %d sim steps, serial %d", shards, got.Steps, serial.Steps)
+			}
+			for i := range serial.Durs {
+				if got.Durs[i] != serial.Durs[i] {
+					t.Errorf("shards=%d: rank %d timed %v, serial %v", shards, i, got.Durs[i], serial.Durs[i])
+				}
+			}
+			for i := range serial.Stats {
+				if got.Stats[i] != serial.Stats[i] {
+					t.Errorf("shards=%d: card %d stats\n got %+v\nwant %+v", shards, i, got.Stats[i], serial.Stats[i])
+				}
+			}
+			t.FailNow()
+		}
+	}
+}
+
+// TestShardClamping pins the serial-fallback rules: shard requests are
+// ignored for non-DOR routing or an attached recorder, and clamped to the
+// slab axis length.
+func TestShardClamping(t *testing.T) {
+	eng := sim.New()
+	cc := core.DefaultConfig()
+	cc.Routing.Mode = route.ModeAdaptive
+	w, err := NewWorld(eng, Config{Dims: torus.Dims{X: 4, Y: 2, Z: 1}, Card: &cc, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Shards() != 1 {
+		t.Fatalf("adaptive routing sharded: Shards() = %d", w.Shards())
+	}
+	w, err = NewWorld(sim.New(), Config{Dims: torus.Dims{X: 2, Y: 2, Z: 2}, Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Shards() != 2 {
+		t.Fatalf("shard request not clamped to slab axis: Shards() = %d", w.Shards())
+	}
+}

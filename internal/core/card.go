@@ -69,8 +69,10 @@ type Card struct {
 
 	// rxCredits is the link-level flow control pool: senders take a
 	// credit per packet before injecting toward this card and the RX
-	// engine returns it after processing.
+	// engine returns it after processing. On a sharded torus the pool is
+	// the ledger instead (see credit.go), owned by this card's shard.
 	rxCredits *sim.Semaphore
+	ledger    *creditLedger
 
 	// xlat resolves RX address translations (firmware walk or hardware
 	// TLB) and accounts their cost; one instance per card.
@@ -193,6 +195,9 @@ func NewCard(eng *sim.Engine, cfg Config, rec *trace.Recorder, name string,
 	}
 	c.hostReader = fab.NewReader(pci, hostMem, cfg.HostReadOutstanding, cfg.HostReadChunk)
 	net.register(c)
+	if eng.Group() != nil {
+		c.ledger = newCreditLedger(int(credits))
+	}
 	return c, nil
 }
 

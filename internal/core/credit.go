@@ -1,0 +1,115 @@
+package core
+
+import (
+	"apenetsim/internal/sim"
+)
+
+// Link-level RX flow control on a sharded torus.
+//
+// Serially, senders take a credit from the destination card's rxCredits
+// semaphore before injecting: one engine serializes both cards, so the
+// semaphore can be touched from the sender's proc. On a sharded torus the
+// pool must live with its card — on the destination card's shard — so the
+// semaphore becomes a creditLedger there, and acquisition becomes a
+// request/grant message pair:
+//
+//	sender shard                      destination shard
+//	------------                      -----------------
+//	Post request (infra, stamp t) --> ledger.request(t)
+//	                                    free credit: grant at max(t, freed)
+//	                                    none free:   queue FIFO, grant on release
+//	park injector            <-- Post grant (stamp = grant time)
+//	resume at grant time
+//
+// Every time in the exchange is computed, never read from a racing clock,
+// so grants are bit-exact: a credit freed at time f serves a request
+// stamped t at max(t, f), exactly when a serial semaphore would have
+// granted it. The grant message is counted as a simulation step only when
+// the request actually blocked — mirroring the serial semaphore, where a
+// blocked Acquire costs one wake event and an immediate one costs none.
+type creditLedger struct {
+	// freeAt holds one entry per free credit: the time it became free
+	// (zero for the initial pool). Order is immaterial; request takes the
+	// earliest.
+	freeAt []sim.Time
+	// waiters are requests that found no free credit, granted FIFO in
+	// request-ingestion order (the deterministic cross-shard merge order).
+	waiters []creditWaiter
+}
+
+type creditWaiter struct {
+	t     sim.Time
+	grant func(at sim.Time, blocked bool)
+}
+
+func newCreditLedger(credits int) *creditLedger {
+	return &creditLedger{freeAt: make([]sim.Time, credits)}
+}
+
+// request asks for one credit at time t. grant is invoked — immediately,
+// or later from release — on the ledger's own shard with the grant time
+// and whether the requester had to wait past t.
+func (l *creditLedger) request(t sim.Time, grant func(at sim.Time, blocked bool)) {
+	if n := len(l.freeAt); n > 0 {
+		best := 0
+		for i := 1; i < n; i++ {
+			if l.freeAt[i] < l.freeAt[best] {
+				best = i
+			}
+		}
+		f := l.freeAt[best]
+		l.freeAt[best] = l.freeAt[n-1]
+		l.freeAt = l.freeAt[:n-1]
+		if f > t {
+			grant(f, true)
+		} else {
+			grant(t, false)
+		}
+		return
+	}
+	l.waiters = append(l.waiters, creditWaiter{t: t, grant: grant})
+}
+
+// release returns one credit at time at, handing it to the oldest waiter
+// if any (granted at max(at, its request time)) or back to the pool.
+func (l *creditLedger) release(at sim.Time) {
+	if len(l.waiters) > 0 {
+		w := l.waiters[0]
+		l.waiters = l.waiters[1:]
+		if w.t > at {
+			at = w.t
+		}
+		w.grant(at, true)
+		return
+	}
+	l.freeAt = append(l.freeAt, at)
+}
+
+// creditAcquire takes one RX credit of dest for a packet this card is
+// about to inject, blocking p until granted. Serial worlds use the
+// semaphore directly; sharded worlds run the ledger protocol above.
+func (c *Card) creditAcquire(p *sim.Proc, dest *Card) {
+	if !c.Net.sharded {
+		dest.rxCredits.Acquire(p, 1)
+		return
+	}
+	t := p.Now()
+	src := c.Eng
+	proc := p
+	src.Post(dest.Eng.Shard(), t, true, func() {
+		dest.ledger.request(t, func(at sim.Time, blocked bool) {
+			dest.Eng.Post(src.Shard(), at, !blocked, func() { src.Wake(proc) })
+		})
+	})
+	p.Park("rx credits")
+}
+
+// creditRelease returns one RX credit of this card at time at. It must
+// run on the card's own shard (the RX engine and loss handling do).
+func (c *Card) creditRelease(at sim.Time) {
+	if !c.Net.sharded {
+		c.rxCredits.Release(1)
+		return
+	}
+	c.ledger.release(at)
+}

@@ -28,7 +28,7 @@ func (c *Card) runInjector(p *sim.Proc) {
 		dstCoord := c.Net.Dims.CoordOf(pkt.Job.DstRank)
 		if pkt.Job.DstRank == c.Rank {
 			// Local injection -> extraction through the internal switch.
-			c.rxCredits.Acquire(p, 1)
+			c.creditAcquire(p, c)
 			_, end := c.loopCh.ReserveRaw(p.Now(), wire)
 			p.SleepUntil(end)
 			c.txFIFO.Get(p, int64(wire))
@@ -44,10 +44,11 @@ func (c *Card) runInjector(p *sim.Proc) {
 		}
 		// Link-level flow control: wait for receive buffering at the
 		// destination before injecting.
-		dest.rxCredits.Acquire(p, 1)
+		c.creditAcquire(p, dest)
 
 		var tally routeTally
-		dec, ok := c.Net.nextHop(c.Coord, dstCoord, p.Now(), wire)
+		injT := p.Now()
+		dec, ok := c.Net.nextHop(c.Coord, dstCoord, injT, wire)
 		if !ok {
 			// Account before dropping: earlier packets may already have
 			// flagged the job as routed around, and its last packet must
@@ -57,11 +58,19 @@ func (c *Card) runInjector(p *sim.Proc) {
 			continue
 		}
 		tally.add(dec)
-		_, end := c.Net.reserveHop(c.Rank, dec.Dir, p.Now(), wire)
+		_, end := c.Net.reserveHop(c.Rank, dec.Dir, injT, wire)
 		p.SleepUntil(end)
 		c.txFIFO.Get(p, int64(wire))
 		c.completePacketTX(pkt)
 
+		if c.Net.sharded {
+			// The rest of the path may leave this shard: hand it to the
+			// sharded forwarder, which books local hops in place, posts
+			// cross-shard remainders, and schedules the delivery.
+			c.Net.forwardSharded(c, pkt, dest, c.Net.Dims.Neighbor(c.Coord, dec.Dir),
+				end.Add(c.Net.hopLat), injT, wire, tally, c.Eng)
+			continue
+		}
 		arrival, ok := c.Net.forward(c.Coord, dec.Dir, dstCoord, end, wire, &tally)
 		c.accountRouting(pkt, tally)
 		if !ok {
@@ -89,8 +98,19 @@ func (c *Card) dropUnroutable(p *sim.Proc, pkt *Packet, dest *Card) {
 // destination learns the bytes will never arrive so the damaged job can
 // drain as incomplete instead of stranding a receiver.
 func (c *Card) accountLostPacket(p *sim.Proc, pkt *Packet, dest *Card, reasonFmt string) {
-	dest.rxCredits.Release(1)
-	dest.rxWireLoss(pkt)
+	if c.Net.sharded {
+		// The destination's credit pool and progress maps live on its own
+		// shard: hand both effects over as an infra message (the serial
+		// path does this inline with zero events).
+		t := p.Now()
+		c.Eng.Post(dest.Eng.Shard(), t, true, func() {
+			dest.creditRelease(t)
+			dest.rxWireLoss(pkt)
+		})
+	} else {
+		dest.rxCredits.Release(1)
+		dest.rxWireLoss(pkt)
+	}
 	c.stats.UnroutablePackets++
 	if c.Rec.Enabled() {
 		c.Rec.Emit(p.Now(), c.Name+".inject", "unroutable", int64(pkt.Bytes),

@@ -49,6 +49,16 @@ type Network struct {
 	// caches.
 	linkDown   map[linkKey]bool
 	stateEpoch uint64
+
+	// sharded is set when the cards registered on this torus live on the
+	// shards of a sim.Group. Each directed link's calendar and meter are
+	// then owned by the shard of its source node: the injector books the
+	// first hop on its own shard, and forward hands the packet across
+	// shard boundaries as timestamped messages (forwardSharded) instead
+	// of booking foreign calendars in place. linkDown stays a single
+	// shared map: it only changes while the group is idle (SetLinkState
+	// enforces this), so shard workers read it without synchronization.
+	sharded bool
 }
 
 type linkKey struct {
@@ -175,9 +185,15 @@ func (n *Network) register(c *Card) {
 	}
 	c.Rank = rank
 	n.cards[rank] = c
+	if c.Eng.Group() != nil {
+		n.sharded = true
+	}
 	for d := torus.Dir(0); d < torus.NumDirs; d++ {
 		name := fmt.Sprintf("torus.%d.%s", rank, d)
-		n.links[n.linkIndex(rank, d)] = pcie.NewChannel(n.Eng, name, n.linkBW)
+		// The card's own engine owns its outgoing links: identical to the
+		// network engine when serial, the card's shard when sharded (every
+		// booking on the link then happens on that shard's worker).
+		n.links[n.linkIndex(rank, d)] = pcie.NewChannel(c.Eng, name, n.linkBW)
 	}
 }
 
@@ -283,6 +299,69 @@ func (n *Network) forward(srcCoord torus.Coord, firstDir torus.Dir, dst torus.Co
 	return arrival, true
 }
 
+// forwardSharded is forward for a sharded torus: hops whose source node
+// lives on the executing shard are booked in place, and when the path
+// reaches a node owned by another shard the remainder is posted there as
+// an infra message stamped at the packet's injection time (exactly the
+// information the serial forward loop carries — all hop times are
+// computed, never read from a clock, so timestamps stay bit-identical).
+// On arrival the delivery is posted to the destination card's shard as a
+// counted event — the same one event the serial path schedules — and the
+// routing tally is folded back to the source card's shard in injection
+// order. A mid-route dead end accounts the loss on both ends via posts.
+//
+// eng is the engine of the shard this call executes on; src.Eng on the
+// first call from the injector.
+func (n *Network) forwardSharded(src *Card, pkt *Packet, dest *Card,
+	cur torus.Coord, at, injT sim.Time, wire units.ByteSize, tally routeTally, eng *sim.Engine) {
+
+	for cur != dest.Coord {
+		owner := n.cards[n.Dims.Rank(cur)].Eng
+		if owner != eng {
+			c2, a2, t2 := cur, at, tally
+			eng.Post(owner.Shard(), injT, true, func() {
+				n.forwardSharded(src, pkt, dest, c2, a2, injT, wire, t2, owner)
+			})
+			return
+		}
+		dec, ok := n.nextHop(cur, dest.Coord, at, wire)
+		if !ok {
+			n.finishShardedLoss(src, pkt, dest, tally, injT, at, eng)
+			return
+		}
+		tally.add(dec)
+		_, end := n.reserveHop(n.Dims.Rank(cur), dec.Dir, at, wire)
+		at = end.Add(n.hopLat)
+		cur = n.Dims.Neighbor(cur, dec.Dir)
+	}
+	// Delivered: one counted event at the computed arrival, like the
+	// serial injector's Eng.At(arrival, ...).
+	eng.Post(dest.Eng.Shard(), at, false, func() { dest.rxQ.TryPut(pkt) })
+	eng.Post(src.Eng.Shard(), injT, true, func() { src.accountRouting(pkt, tally) })
+}
+
+// finishShardedLoss is the sharded tail of a mid-route dead end: the
+// source card accounts the routing decisions and the loss, the
+// destination gets its credit back and learns the bytes will never
+// arrive. Serial code does all of this inline with zero events, so both
+// posts are infra.
+func (n *Network) finishShardedLoss(src *Card, pkt *Packet, dest *Card,
+	tally routeTally, injT, lossT sim.Time, eng *sim.Engine) {
+
+	eng.Post(src.Eng.Shard(), injT, true, func() {
+		src.accountRouting(pkt, tally)
+		src.stats.UnroutablePackets++
+		if src.Rec.Enabled() {
+			src.Rec.Emit(src.Eng.Now(), src.Name+".inject", "unroutable", int64(pkt.Bytes),
+				fmt.Sprintf("lost mid-route toward rank %d", pkt.Job.DstRank))
+		}
+	})
+	eng.Post(dest.Eng.Shard(), lossT, true, func() {
+		dest.creditRelease(dest.Eng.Now())
+		dest.rxWireLoss(pkt)
+	})
+}
+
 // Reachable reports whether the router can carry traffic from a to b
 // under the current link state. The card's submit path uses it to fail
 // PUTs toward cut-off nodes synchronously.
@@ -307,6 +386,12 @@ func (id LinkID) String() string { return fmt.Sprintf("%v%s", id.Coord, id.Dir) 
 func (n *Network) SetLinkState(id LinkID, up bool) {
 	if !n.Dims.Contains(id.Coord) || id.Dir < 0 || id.Dir >= torus.NumDirs {
 		panic(fmt.Sprintf("core: bad link %v in torus %v", id, n.Dims))
+	}
+	if g := n.Eng.Group(); g != nil && g.Running() {
+		// Shard workers read linkDown without locks; state may only change
+		// while the group is idle (between Run calls, like the degraded-
+		// routing experiments already do).
+		panic("core: SetLinkState while the sharded group is running")
 	}
 	key := linkKey{n.Dims.Rank(id.Coord), id.Dir}
 	if n.linkDown[key] == !up {

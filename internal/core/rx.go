@@ -30,7 +30,7 @@ import (
 func (c *Card) runRX(p *sim.Proc) {
 	for {
 		pkt := c.rxQ.Get(p)
-		c.rxCredits.Release(1) // packet leaves the link-level buffer
+		c.creditRelease(p.Now()) // packet leaves the link-level buffer
 
 		// GET control messages divert before the PUT pipeline: requests
 		// into the responder engine (get.go), error replies into the
@@ -130,9 +130,9 @@ func (c *Card) rxDeliver(p *sim.Proc, pkt *Packet, arrival sim.Time) {
 // rxWireLoss accounts bytes of a job that were lost on the wire toward
 // this card — the sender's injector found no usable link — and retires
 // the job if its last byte has now been seen, so receivers are never
-// left waiting on packets that can no longer arrive. Called from the
-// sender's injector context: one engine serializes both cards, so the
-// progress maps need no further protection. A lost GET control message
+// left waiting on packets that can no longer arrive. Serially it runs in
+// the sender's injector context (one engine serializes both cards);
+// sharded, the loss is posted to this card's own shard first. A lost GET control message
 // has no progress to track; it immediately fails the requester's
 // outstanding entry instead (GET data replies use the normal progress
 // accounting and fail on retire).

@@ -176,7 +176,7 @@ func (c *Channel) coalesce(i int) {
 // only once the dead prefix dominates, keeping steady-state reservation
 // free of per-call copying.
 func (c *Channel) prune() {
-	now := c.eng.Now()
+	now := c.eng.PruneHorizon()
 	live := c.busy[c.head:]
 	if len(live) == 0 || live[0].end > now {
 		return // nothing expired: the overwhelmingly common case

@@ -29,6 +29,7 @@ package route
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"apenetsim/internal/sim"
 	"apenetsim/internal/torus"
@@ -107,8 +108,13 @@ type Router interface {
 // shorter way around each ring, positive on ties. It is fault-blind — a
 // down link on the dimension-ordered path fails the packet rather than
 // detouring (the network drops it and accounts the loss).
+//
+// Its only state is the decision counter, kept atomic: it is the one
+// router sharded worlds may use (core.Network calls NextHop from
+// whichever shard owns the hop's source node), and the sum of decisions
+// is the same whatever order the shards add theirs.
 type DimensionOrder struct {
-	stats Stats
+	decisions int64
 }
 
 // NewDimensionOrder builds the static router.
@@ -123,7 +129,7 @@ func (r *DimensionOrder) NextHop(v View, cur, dst torus.Coord, at sim.Time, wire
 	if !ok {
 		return Decision{}, false
 	}
-	r.stats.Decisions++
+	atomic.AddInt64(&r.decisions, 1)
 	return Decision{Dir: dir}, true
 }
 
@@ -131,7 +137,9 @@ func (r *DimensionOrder) NextHop(v View, cur, dst torus.Coord, at sim.Time, wire
 func (r *DimensionOrder) Reachable(v View, a, b torus.Coord) bool { return true }
 
 // Stats implements Router.
-func (r *DimensionOrder) Stats() Stats { return r.stats }
+func (r *DimensionOrder) Stats() Stats {
+	return Stats{Decisions: atomic.LoadInt64(&r.decisions)}
+}
 
 // Mode selects a router implementation.
 type Mode int

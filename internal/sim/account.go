@@ -21,6 +21,14 @@ type Account struct {
 	// peakPending is the largest event-queue high-water mark reported by
 	// any attached engine — the run's peak simultaneous event load.
 	peakPending atomic.Uint64
+	// rounds / busyShardRounds describe sharded execution: how many
+	// conservative windows every attached Group ran, and the sum over
+	// those windows of shards that had events to execute. Their ratio is
+	// the run's average parallel occupancy — the speedup ceiling a
+	// multi-core host can reach. Both are deterministic (pure functions
+	// of the event structure, unlike wall-clock throughput).
+	rounds          atomic.Uint64
+	busyShardRounds atomic.Uint64
 }
 
 // Steps returns the total number of events executed by attached engines
@@ -50,6 +58,16 @@ func (a *Account) PeakPending() uint64 {
 	return a.peakPending.Load()
 }
 
+// ShardRounds returns the total conservative windows run by attached
+// sharded Groups, and the sum over those windows of shards that executed
+// events. Zero on purely serial runs.
+func (a *Account) ShardRounds() (rounds, busyShardRounds uint64) {
+	if a == nil {
+		return 0, 0
+	}
+	return a.rounds.Load(), a.busyShardRounds.Load()
+}
+
 // AddFrom folds another account's totals into a (nil-safe on both sides).
 func (a *Account) AddFrom(b *Account) {
 	if a == nil || b == nil {
@@ -61,7 +79,19 @@ func (a *Account) AddFrom(b *Account) {
 	if n := b.Engines(); n > 0 {
 		a.engines.Add(n)
 	}
+	if r, busy := b.ShardRounds(); r > 0 {
+		a.rounds.Add(r)
+		a.busyShardRounds.Add(busy)
+	}
 	a.notePeakPending(b.PeakPending())
+}
+
+// addShardRounds folds one Group run's window statistics in.
+func (a *Account) addShardRounds(rounds, busyShardRounds uint64) {
+	if a != nil && rounds > 0 {
+		a.rounds.Add(rounds)
+		a.busyShardRounds.Add(busyShardRounds)
+	}
 }
 
 func (a *Account) addSteps(n uint64) {

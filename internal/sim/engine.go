@@ -12,6 +12,18 @@ type Event struct {
 	fn       func()
 	idx      int // heap index, -1 when not queued
 	canceled bool
+
+	// Sharded execution (see Group). Events ingested from another
+	// shard's mailbox carry ext=true plus the sender's (shard, seq) so
+	// the merge order is a function of timestamps alone, never of worker
+	// scheduling. infra marks bookkeeping events of the cross-shard
+	// protocols themselves (mailbox ingestion, credit grants, barrier
+	// rendezvous): they execute like any event but are excluded from the
+	// step count, keeping nsteps comparable with the serial engine.
+	ext    bool
+	extSrc int
+	extSeq uint64
+	infra  bool
 }
 
 // Time returns the time at which the event is scheduled to fire.
@@ -32,6 +44,11 @@ type Engine struct {
 	procs   map[*Proc]struct{}
 	account *Account
 	flushed uint64 // steps already reported to the account
+
+	// Sharded execution: non-nil when this engine is one shard of a
+	// Group. shard is its index within the group.
+	group *Group
+	shard int
 }
 
 // New returns a new Engine at time zero.
@@ -99,13 +116,21 @@ func (e *Engine) Step() bool {
 		return false
 	}
 	e.now = ev.t
-	e.nsteps++
+	if !ev.infra {
+		e.nsteps++
+	}
 	ev.fn()
 	return true
 }
 
-// Run executes events until the queue is empty.
+// Run executes events until the queue is empty. On a sharded engine
+// (one built into a Group) Run drives the whole group: every shard's
+// events, in windowed rounds, until all heaps and mailboxes drain.
 func (e *Engine) Run() {
+	if e.group != nil {
+		e.group.run()
+		return
+	}
 	for e.Step() {
 	}
 	e.flushAccount()
@@ -121,8 +146,14 @@ func (e *Engine) flushAccount() {
 	e.account.notePeakPending(uint64(e.peak))
 }
 
-// RunUntil executes events with timestamps <= t, then sets the clock to t.
+// RunUntil executes events with timestamps <= t, then sets the clock to
+// t. Executed steps are flushed to the Account just as Run does, so
+// RunUntil-driven simulations report steps as they happen rather than
+// only at Shutdown.
 func (e *Engine) RunUntil(t Time) {
+	if e.group != nil {
+		panic("sim: RunUntil is not supported on a sharded engine; use Run")
+	}
 	for {
 		ev := e.peek()
 		if ev == nil || ev.t > t {
@@ -133,6 +164,7 @@ func (e *Engine) RunUntil(t Time) {
 	if t > e.now {
 		e.now = t
 	}
+	e.flushAccount()
 }
 
 // RunFor advances the simulation by d.
@@ -158,8 +190,18 @@ func (e *Engine) Blocked() []string {
 
 // Shutdown kills all live procs so their goroutines exit. Call it when a
 // simulation is finished if the engine hosted server-style procs that
-// never terminate on their own.
+// never terminate on their own. On a sharded engine Shutdown tears down
+// the whole group.
 func (e *Engine) Shutdown() {
+	if e.group != nil {
+		e.group.shutdown()
+		return
+	}
+	e.shutdownLocal()
+}
+
+// shutdownLocal kills this engine's procs and flushes its account.
+func (e *Engine) shutdownLocal() {
 	for len(e.procs) > 0 {
 		var p *Proc
 		// Pick any proc; kill order does not matter for determinism
@@ -174,13 +216,46 @@ func (e *Engine) Shutdown() {
 	e.flushAccount()
 }
 
-// heap operations: min-heap ordered by (t, seq).
+// Shard returns this engine's index within its Group (0 when serial).
+func (e *Engine) Shard() int { return e.shard }
+
+// PruneHorizon returns the latest time before which expired state (like
+// calendar reservations that already ended) can safely be discarded. For
+// a serial engine that is simply now: nothing books in the past. A
+// sharded engine's clock may rewind when a late-lane message executes
+// retroactively, and the retroactively resumed code may book calendar
+// time below the shard's previous clock — but never below the group's
+// round floor, so pruning is clamped there instead.
+func (e *Engine) PruneHorizon() Time {
+	if e.group != nil && e.group.floor < e.now {
+		return e.group.floor
+	}
+	return e.now
+}
+
+// Group returns the Group this engine belongs to, or nil when serial.
+func (e *Engine) Group() *Group { return e.group }
+
+// heap operations: min-heap ordered by (t, seq); events ingested from
+// another shard's mailbox sort after local events at the same time,
+// ordered among themselves by the sender's (shard, seq). The key is a
+// pure function of timestamps and sequence numbers, so the merge order
+// is independent of worker scheduling.
 
 func eventLess(a, b *Event) bool {
 	if a.t != b.t {
 		return a.t < b.t
 	}
-	return a.seq < b.seq
+	if a.ext != b.ext {
+		return !a.ext // local events before ingested ones at equal time
+	}
+	if !a.ext {
+		return a.seq < b.seq
+	}
+	if a.extSrc != b.extSrc {
+		return a.extSrc < b.extSrc
+	}
+	return a.extSeq < b.extSeq
 }
 
 func (e *Engine) push(ev *Event) {

@@ -125,6 +125,22 @@ func (p *Proc) block(reason string) {
 	p.blockedOn = ""
 }
 
+// Park blocks the proc until some engine event wakes it with Engine.Wake.
+// It is the exported form of block, for cross-shard protocols (a proc
+// waiting on a resource owned by another shard parks itself; the grant
+// message posted back to its home shard wakes it). Wake must come from
+// an event on the proc's own engine.
+func (p *Proc) Park(reason string) { p.block(reason) }
+
+// Wake resumes a proc parked with Park. It must be called from engine
+// context (inside an event) on the proc's own engine.
+func (e *Engine) Wake(p *Proc) {
+	if p.eng != e {
+		panic(fmt.Sprintf("sim: waking proc %q on a foreign engine", p.name))
+	}
+	e.dispatch(p)
+}
+
 // Name returns the proc's name.
 func (p *Proc) Name() string { return p.name }
 

@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Group runs several engines — shards of one simulation — in parallel
+// under a conservative parallel-discrete-event protocol.
+//
+// The simulation is partitioned so that every model component (card,
+// proc, link calendar) lives on exactly one shard, and all interaction
+// that crosses a shard boundary goes through Post: a timestamped message
+// into the destination shard's mailbox. Execution proceeds in windowed
+// rounds:
+//
+//  1. barrier: ingest every mailbox into the destination heaps,
+//  2. compute minNext = the earliest pending timestamp across shards,
+//  3. set the horizon H = minNext + lookahead,
+//  4. in parallel, each shard executes its own events with t < H,
+//  5. repeat until every heap and mailbox is empty.
+//
+// The lookahead is the minimum latency of any cross-shard interaction
+// (for a torus: the cable hop latency), so a message generated inside a
+// round and stamped a full hop later can never land inside the window
+// that produced it. Messages stamped earlier than that — bookkeeping of
+// the cross-shard protocols themselves — are allowed to arrive in the
+// destination's logical past; the engine executes them retroactively
+// (Step rewinds the clock to the event's stamp), which keeps every
+// computed timestamp exact while relaxing execution order.
+//
+// Determinism: the merge order of ingested events is the pure key
+// (time, source shard, source sequence) — see eventLess — and rounds
+// are separated by full barriers, so results are a function of the
+// model and the shard mapping only, never of worker scheduling. The
+// serial path (no group) is untouched: a world built without a Group
+// runs today's exact event order.
+type Group struct {
+	engines   []*Engine
+	lookahead Duration
+	outbox    [][][]extMsg // [src][dst], written only by src's worker
+	postSeq   []uint64     // per-source Post counter
+	running   bool
+	// floor is the current round's minNext: a global lower bound on the
+	// stamp of any event still to execute, and therefore on the `from` of
+	// any future calendar reservation. Calendar pruning uses it instead of
+	// a shard's own clock, which may rewind for late-lane messages (see
+	// Engine.PruneHorizon). Written only at the round barrier; workers
+	// read it, with the barrier providing the happens-before edge.
+	floor Time
+}
+
+// extMsg is one cross-shard message awaiting ingestion.
+type extMsg struct {
+	t     Time
+	seq   uint64
+	infra bool
+	fn    func()
+}
+
+// NewGroup builds a sharded execution group of n shards around an
+// existing engine, which becomes shard 0; n-1 sibling engines are
+// created sharing its Account (without counting as extra engines, so
+// accounting stays comparable with a serial run). The lookahead must be
+// positive: it is the minimum cross-shard latency the model guarantees.
+// After NewGroup, eng.Run() drives the whole group and eng.Shutdown()
+// tears it down.
+func NewGroup(eng *Engine, n int, lookahead Duration) *Group {
+	if n < 2 {
+		panic(fmt.Sprintf("sim: group needs at least 2 shards, got %d", n))
+	}
+	if lookahead <= 0 {
+		panic(fmt.Sprintf("sim: group needs positive lookahead, got %v", lookahead))
+	}
+	if eng.group != nil {
+		panic("sim: engine already belongs to a group")
+	}
+	g := &Group{
+		engines:   make([]*Engine, n),
+		lookahead: lookahead,
+		outbox:    make([][][]extMsg, n),
+		postSeq:   make([]uint64, n),
+	}
+	g.engines[0] = eng
+	for i := 1; i < n; i++ {
+		// Siblings share the account but do not call addEngine: the
+		// group is one logical engine as far as accounting goes.
+		g.engines[i] = &Engine{procs: make(map[*Proc]struct{}), account: eng.account}
+	}
+	for i, e := range g.engines {
+		e.group = g
+		e.shard = i
+		g.outbox[i] = make([][]extMsg, n)
+	}
+	return g
+}
+
+// Shards returns the number of shards in the group.
+func (g *Group) Shards() int { return len(g.engines) }
+
+// Engine returns the engine of shard i.
+func (g *Group) Engine(i int) *Engine { return g.engines[i] }
+
+// Running reports whether the group is mid-run. Mutations that must not
+// race with workers (fault injection, topology changes) are only legal
+// while this is false.
+func (g *Group) Running() bool { return g.running }
+
+// Post schedules fn at time t on shard dst, ordered by the pure key
+// (t, source shard, source sequence). infra marks protocol bookkeeping
+// that should not count as a simulation step. Must be called from the
+// calling shard's own execution context (or from host context between
+// rounds). t may lie in the destination's past; it then executes
+// retroactively at the next barrier.
+func (e *Engine) Post(dst int, t Time, infra bool, fn func()) {
+	g := e.group
+	if g == nil {
+		panic("sim: Post on an engine outside a group")
+	}
+	src := e.shard
+	g.outbox[src][dst] = append(g.outbox[src][dst], extMsg{t: t, seq: g.postSeq[src], infra: infra, fn: fn})
+	g.postSeq[src]++
+}
+
+// ingest drains every mailbox into the destination heaps. The heap key
+// (t, ext, src, seq) totally orders ingested events, so insertion order
+// is irrelevant. Returns true if any message moved.
+func (g *Group) ingest() bool {
+	any := false
+	for src := range g.engines {
+		for dst := range g.engines {
+			msgs := g.outbox[src][dst]
+			if len(msgs) == 0 {
+				continue
+			}
+			e := g.engines[dst]
+			for _, m := range msgs {
+				e.push(&Event{t: m.t, fn: m.fn, ext: true, extSrc: src, extSeq: m.seq, infra: m.infra})
+			}
+			g.outbox[src][dst] = msgs[:0]
+			any = true
+		}
+	}
+	return any
+}
+
+// run executes the whole group until every heap and mailbox drains.
+func (g *Group) run() {
+	g.running = true
+	var rounds, busyShardRounds uint64
+	var wg sync.WaitGroup
+	for {
+		g.ingest()
+		minNext, ok := g.minPending()
+		if !ok {
+			break
+		}
+		g.floor = minNext
+		horizon := minNext.Add(g.lookahead)
+		active := 0
+		for _, e := range g.engines {
+			if ev := e.peek(); ev == nil || ev.t >= horizon {
+				continue
+			}
+			active++
+			wg.Add(1)
+			go func(e *Engine) {
+				defer wg.Done()
+				for {
+					ev := e.peek()
+					if ev == nil || ev.t >= horizon {
+						return
+					}
+					e.Step()
+				}
+			}(e)
+		}
+		// Window statistics: the busy-shard count per round is the run's
+		// parallel occupancy, the deterministic ceiling on multi-core
+		// speedup (see Account.ShardRounds).
+		rounds++
+		busyShardRounds += uint64(active)
+		wg.Wait()
+	}
+	g.engines[0].account.addShardRounds(rounds, busyShardRounds)
+	g.running = false
+	// Align every shard's clock to the time of the globally last event.
+	// Timestamps are exact across shard counts, so this is the same final
+	// clock a serial run ends with — post-run reads (link utilization
+	// denominators, trace stamps) see identical time.
+	var maxNow Time
+	for _, e := range g.engines {
+		if e.now > maxNow {
+			maxNow = e.now
+		}
+	}
+	for _, e := range g.engines {
+		e.now = maxNow
+		e.flushAccount()
+	}
+}
+
+// minPending returns the earliest pending timestamp across all shards.
+func (g *Group) minPending() (Time, bool) {
+	var min Time
+	found := false
+	for _, e := range g.engines {
+		if ev := e.peek(); ev != nil && (!found || ev.t < min) {
+			min = ev.t
+			found = true
+		}
+	}
+	return min, found
+}
+
+// shutdown tears down every shard's procs and flushes accounting.
+func (g *Group) shutdown() {
+	for _, e := range g.engines {
+		e.shutdownLocal()
+	}
+}
