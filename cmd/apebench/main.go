@@ -30,6 +30,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -142,9 +144,16 @@ func main() {
 	tlb := flag.Bool("tlb", false, "run every card with the hardware RX TLB (28 nm follow-up) instead of the firmware V2P walk")
 	router := flag.String("router", "", "torus routing engine: dor (default), adaptive, or fault")
 	scale := flag.Bool("scale", false, "include the LQCD-scale 16^3/32^3 rows in size-sweeping experiments (minutes of wall time)")
-	shards := flag.Int("shards", 1, "run the collective-world experiments across N parallel per-slab engines (1 = serial; results are bit-identical)")
+	shards := flag.Int("shards", 1, "run the collective-world experiments across N parallel per-slab engines (1 = serial; results are bit-identical across shard counts N >= 2, and recorded+gated on baseline compares)")
 	hotlinks := flag.Int("hotlinks", 0, "print the top-N congested links after each coll-*/route-* experiment")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile covering the experiment runs to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile (after the runs, post-GC) to this file")
 	flag.Parse()
+
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "apebench: -shards %d: want at least 1 (the serial engine)\n", *shards)
+		os.Exit(2)
+	}
 
 	if *list {
 		listExperiments(*group)
@@ -195,9 +204,38 @@ func main() {
 			fmt.Fprintf(os.Stderr, "apebench: %-12s (%s)\n", r.ID, status)
 		},
 	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "apebench: -cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "apebench: -cpuprofile:", err)
+			os.Exit(1)
+		}
+		// main exits through os.Exit, so the profile is stopped explicitly
+		// right after the runs rather than deferred.
+	}
 	start := time.Now()
 	report := runner.Run(todo)
 	elapsed := time.Since(start)
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "apebench: -memprofile:", err)
+			os.Exit(1)
+		}
+		runtime.GC() // report live allocations, not garbage
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "apebench: -memprofile:", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
 
 	failed := 0
 	for _, res := range report.Results {

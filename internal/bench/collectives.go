@@ -23,16 +23,23 @@ import (
 // collSlot bounds the largest single collective message in experiments.
 const collSlot = 4 * units.MB
 
-// collWorld builds a GPU-buffer collective world on its own engine.
+// collWorld builds a GPU-buffer collective world on its own engine. The
+// -shards request is clamped to what the experiment's torus can hold, so
+// one flag can drive a whole sweep of sizes (coll.NewWorld itself rejects
+// over-axis requests).
 func collWorld(o Options, dims torus.Dims) (*sim.Engine, *coll.World) {
 	eng := sim.NewWithAccount(o.Account)
 	cfg := o.config()
+	shards := o.Shards
+	if max := coll.MaxShards(dims); shards > max {
+		shards = max
+	}
 	w, err := coll.NewWorld(eng, coll.Config{
 		Dims:      dims,
 		Card:      &cfg,
 		Buf:       core.GPUMem,
 		SlotBytes: collSlot,
-		Shards:    o.Shards,
+		Shards:    shards,
 	})
 	must(err)
 	return eng, w
@@ -267,14 +274,6 @@ func CollAllToAll(o Options) *Report {
 	n := dims.Nodes()
 	elapsed := make([]sim.Duration, len(sizes))
 
-	// All-to-all stays serial under -shards: its synchronized burst piles
-	// exact-timestamp ties onto the shared per-card credit pools, and the
-	// serial engine breaks those ties by heap insertion order — global
-	// state no shard-local rule can reproduce. The makespans come out
-	// identical anyway, but the tie-dependent cells (peak backlog, step
-	// counts) shift, and the -shards contract is bit-identity, not
-	// just-the-timings identity (TestShardedEquivalence).
-	o.Shards = 1
 	eng, w := collWorld(o, dims)
 	w.Run(func(p *sim.Proc, r *coll.Rank) {
 		r.AllToAll(p, 4*units.KB, nil) // warm-up

@@ -58,11 +58,22 @@ type Config struct {
 	// their own sim engine, and the engines run in parallel under the
 	// conservative protocol of sim.Group with the cable hop latency as
 	// lookahead. 0 or 1 is the serial engine, bit-identical to every
-	// earlier release. The request is clamped to the slab axis length,
-	// and ignored entirely (serial fallback) when the configuration is
-	// not shard-exact: non-dimension-ordered routing reads live per-link
-	// state whose evolution is order-sensitive, and a trace recorder
-	// would interleave emits from parallel workers.
+	// earlier release. Requesting more shards than the slab axis is long
+	// is an error (see MaxShards). The request is ignored entirely
+	// (serial fallback) when the configuration is not shard-exact:
+	// non-dimension-ordered routing reads live per-link state whose
+	// evolution is order-sensitive, and a trace recorder would interleave
+	// emits from parallel workers.
+	//
+	// -1 runs the one-slab group: every event on one engine, but with
+	// the group's barrier-deferred message protocol and wire-arrival-
+	// order hop booking — the shard-count-invariant reference that
+	// sharded runs are bit-identical to (see sim.NewGroup and
+	// core's orderedBooking). The serial engine differs from it only
+	// where contention makes the booking order visible: same-window
+	// reservations on shared links, which the group orders by a pure
+	// (rank, seq) key while serial books whole paths at injection —
+	// all-to-all is the one experiment that exercises that.
 	Shards int
 }
 
@@ -142,19 +153,26 @@ func NewWorld(eng *sim.Engine, cfg Config) (*World, error) {
 	// dimension and give each slab its own engine in a sim.Group. Only
 	// shard what stays bit-exact — see Config.Shards.
 	shards := cfg.Shards
+	groupOne := shards == -1
 	if shards < 1 {
-		shards = 1
-	}
-	if cc.Routing.Mode != route.ModeDimensionOrder || cfg.Rec != nil || cc.HopLatency <= 0 {
 		shards = 1
 	}
 	axis := slabAxis(cfg.Dims)
 	if ax := axisLen(cfg.Dims, axis); shards > ax {
-		shards = ax
+		// A slab needs at least one plane of the axis: more engines than
+		// planes would leave some with no cards and the slab map
+		// (axis coordinate * shards / axis length) collapses. Refuse
+		// loudly rather than guessing what the caller meant.
+		return nil, fmt.Errorf("coll: %d shards requested but torus %v slices into at most %d slabs along its longest axis (see MaxShards)",
+			shards, cfg.Dims, ax)
+	}
+	if cc.Routing.Mode != route.ModeDimensionOrder || cfg.Rec != nil || cc.HopLatency <= 0 {
+		shards = 1
+		groupOne = false
 	}
 	var g *sim.Group
 	engOf := func(i int) *sim.Engine { return eng }
-	if shards > 1 {
+	if shards > 1 || groupOne {
 		g = sim.NewGroup(eng, shards, cc.HopLatency)
 		engOf = func(i int) *sim.Engine {
 			co := axisCoord(cfg.Dims.CoordOf(i), axis)
@@ -188,6 +206,10 @@ func (w *World) Net() *core.Network { return w.Cl.Net }
 // Shards returns the effective shard count the world runs on (1 = the
 // serial engine; a Config.Shards request may have been clamped away).
 func (w *World) Shards() int { return w.shards }
+
+// MaxShards returns the largest legal Config.Shards for a torus: the
+// length of its slab axis (the longest dimension, ties broken toward Z).
+func MaxShards(d torus.Dims) int { return axisLen(d, slabAxis(d)) }
 
 // slabAxis picks the dimension to slice into slabs: the longest one, with
 // ties broken toward Z. Dimension-ordered routing corrects X, then Y, then

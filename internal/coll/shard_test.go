@@ -2,6 +2,7 @@ package coll
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 
 	"apenetsim/internal/core"
@@ -107,9 +108,9 @@ func TestShardedCollEquivalence(t *testing.T) {
 	}
 }
 
-// TestShardClamping pins the serial-fallback rules: shard requests are
-// ignored for non-DOR routing or an attached recorder, and clamped to the
-// slab axis length.
+// TestShardClamping pins the serial-fallback and validation rules: shard
+// requests are ignored for non-DOR routing, and requests beyond the slab
+// axis length are a loud error, not a deep panic or a silent clamp.
 func TestShardClamping(t *testing.T) {
 	eng := sim.New()
 	cc := core.DefaultConfig()
@@ -121,11 +122,14 @@ func TestShardClamping(t *testing.T) {
 	if w.Shards() != 1 {
 		t.Fatalf("adaptive routing sharded: Shards() = %d", w.Shards())
 	}
-	w, err = NewWorld(sim.New(), Config{Dims: torus.Dims{X: 2, Y: 2, Z: 2}, Shards: 8})
-	if err != nil {
-		t.Fatal(err)
+	if got := MaxShards(torus.Dims{X: 2, Y: 2, Z: 2}); got != 2 {
+		t.Fatalf("MaxShards(2x2x2) = %d, want 2", got)
 	}
-	if w.Shards() != 2 {
-		t.Fatalf("shard request not clamped to slab axis: Shards() = %d", w.Shards())
+	_, err = NewWorld(sim.New(), Config{Dims: torus.Dims{X: 2, Y: 2, Z: 2}, Shards: 8})
+	if err == nil {
+		t.Fatal("8 shards on a 2x2x2 torus: want an error, got a world")
+	}
+	if !strings.Contains(err.Error(), "at most 2 slabs") {
+		t.Fatalf("over-axis shard error %q does not name the slab limit", err)
 	}
 }

@@ -67,12 +67,18 @@ type Card struct {
 	switchCh   *pcie.Channel // flush-mode drain
 	loopCh     *pcie.Channel // local injection->extraction port
 
-	// rxCredits is the link-level flow control pool: senders take a
-	// credit per packet before injecting toward this card and the RX
-	// engine returns it after processing. On a sharded torus the pool is
-	// the ledger instead (see credit.go), owned by this card's shard.
-	rxCredits *sim.Semaphore
+	// ledger is the link-level flow control pool: senders take a credit
+	// per packet before injecting toward this card and the RX engine
+	// returns it after processing (see credit.go). On a sharded torus it
+	// is owned by this card's shard. creditSeq numbers this card's own
+	// outgoing credit requests, half of the pure tie-break key.
 	ledger    *creditLedger
+	creditSeq uint64
+
+	// orderSeq numbers this card's injected packets; packed with the rank
+	// it forms the pure tie key ordering same-time hop bookings (see
+	// Network.forwardOrdered).
+	orderSeq uint64
 
 	// xlat resolves RX address translations (firmware walk or hardware
 	// TLB) and accounts their cost; one instance per card.
@@ -179,7 +185,7 @@ func NewCard(eng *sim.Engine, cfg Config, rec *trace.Recorder, name string,
 	if credits <= 0 {
 		credits = 16
 	}
-	c.rxCredits = sim.NewSemaphore(eng, int64(credits))
+	c.ledger = newCreditLedger(int(credits))
 	gets := cfg.MaxOutstandingGets
 	if gets <= 0 {
 		gets = 16
@@ -195,9 +201,6 @@ func NewCard(eng *sim.Engine, cfg Config, rec *trace.Recorder, name string,
 	}
 	c.hostReader = fab.NewReader(pci, hostMem, cfg.HostReadOutstanding, cfg.HostReadChunk)
 	net.register(c)
-	if eng.Group() != nil {
-		c.ledger = newCreditLedger(int(credits))
-	}
 	return c, nil
 }
 

@@ -1,45 +1,80 @@
 package core
 
 import (
+	"sort"
+
 	"apenetsim/internal/sim"
 )
 
-// Link-level RX flow control on a sharded torus.
+// Link-level RX flow control.
 //
-// Serially, senders take a credit from the destination card's rxCredits
-// semaphore before injecting: one engine serializes both cards, so the
-// semaphore can be touched from the sender's proc. On a sharded torus the
-// pool must live with its card — on the destination card's shard — so the
-// semaphore becomes a creditLedger there, and acquisition becomes a
-// request/grant message pair:
+// Senders take a credit from the destination card's pool before injecting
+// a packet toward it; the RX engine returns the credit when the packet
+// leaves the link-level buffer. Both the serial and the sharded path run
+// the same creditLedger, so the outcome of every contended acquisition is
+// a pure function of the model — never of engine scheduling or the shard
+// count:
+//
+//   - Blocked requests wait in (stamp, requester rank, requester seq)
+//     order — an explicit key carried with the request, not the order in
+//     which a heap or a mailbox happened to deliver it. Equal-time bursts
+//     (all-to-all) therefore resolve identically at every shard count.
+//   - A grant is "blocked" — and costs one counted wake event, mirroring
+//     a blocking semaphore acquire — exactly when its grant time exceeds
+//     the request stamp. A release that lands on the same timestamp as a
+//     pending request is indistinguishable from a pool that was never
+//     empty, whichever side the engine happened to execute first.
+//
+// Serially one engine serializes both cards, so the ledger is touched
+// inline from the sender's proc: an immediate grant costs zero events, a
+// deferred one schedules the wake when the credit frees. On a sharded
+// torus the pool lives with its card — on the destination card's shard —
+// and acquisition becomes a request/grant message pair:
 //
 //	sender shard                      destination shard
 //	------------                      -----------------
-//	Post request (infra, stamp t) --> ledger.request(t)
+//	Post request (infra, stamp t) --> ledger.request(t, key)
 //	                                    free credit: grant at max(t, freed)
-//	                                    none free:   queue FIFO, grant on release
+//	                                    none free:   queue by key, grant on release
 //	park injector            <-- Post grant (stamp = grant time)
 //	resume at grant time
 //
 // Every time in the exchange is computed, never read from a racing clock,
 // so grants are bit-exact: a credit freed at time f serves a request
-// stamped t at max(t, f), exactly when a serial semaphore would have
-// granted it. The grant message is counted as a simulation step only when
-// the request actually blocked — mirroring the serial semaphore, where a
-// blocked Acquire costs one wake event and an immediate one costs none.
+// stamped t at max(t, f), exactly when the serial ledger would have
+// granted it.
 type creditLedger struct {
 	// freeAt holds one entry per free credit: the time it became free
 	// (zero for the initial pool). Order is immaterial; request takes the
 	// earliest.
 	freeAt []sim.Time
-	// waiters are requests that found no free credit, granted FIFO in
-	// request-ingestion order (the deterministic cross-shard merge order).
+	// waiters are requests that found no free credit, kept sorted by
+	// (t, rank, seq); release grants the head.
 	waiters []creditWaiter
+}
+
+// creditKey identifies one credit request: the requesting card's rank and
+// that card's running request counter. Combined with the request stamp it
+// totally orders contending requests by model state alone.
+type creditKey struct {
+	rank int
+	seq  uint64
 }
 
 type creditWaiter struct {
 	t     sim.Time
+	key   creditKey
 	grant func(at sim.Time, blocked bool)
+}
+
+func waiterBefore(a, b creditWaiter) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	if a.key.rank != b.key.rank {
+		return a.key.rank < b.key.rank
+	}
+	return a.key.seq < b.key.seq
 }
 
 func newCreditLedger(credits int) *creditLedger {
@@ -49,7 +84,7 @@ func newCreditLedger(credits int) *creditLedger {
 // request asks for one credit at time t. grant is invoked — immediately,
 // or later from release — on the ledger's own shard with the grant time
 // and whether the requester had to wait past t.
-func (l *creditLedger) request(t sim.Time, grant func(at sim.Time, blocked bool)) {
+func (l *creditLedger) request(t sim.Time, key creditKey, grant func(at sim.Time, blocked bool)) {
 	if n := len(l.freeAt); n > 0 {
 		best := 0
 		for i := 1; i < n; i++ {
@@ -57,21 +92,24 @@ func (l *creditLedger) request(t sim.Time, grant func(at sim.Time, blocked bool)
 				best = i
 			}
 		}
-		f := l.freeAt[best]
+		at := l.freeAt[best]
 		l.freeAt[best] = l.freeAt[n-1]
 		l.freeAt = l.freeAt[:n-1]
-		if f > t {
-			grant(f, true)
-		} else {
-			grant(t, false)
+		if at < t {
+			at = t
 		}
+		grant(at, at > t)
 		return
 	}
-	l.waiters = append(l.waiters, creditWaiter{t: t, grant: grant})
+	w := creditWaiter{t: t, key: key, grant: grant}
+	i := sort.Search(len(l.waiters), func(i int) bool { return waiterBefore(w, l.waiters[i]) })
+	l.waiters = append(l.waiters, creditWaiter{})
+	copy(l.waiters[i+1:], l.waiters[i:])
+	l.waiters[i] = w
 }
 
-// release returns one credit at time at, handing it to the oldest waiter
-// if any (granted at max(at, its request time)) or back to the pool.
+// release returns one credit at time at, handing it to the first waiter
+// in key order (granted at max(at, its request time)) or back to the pool.
 func (l *creditLedger) release(at sim.Time) {
 	if len(l.waiters) > 0 {
 		w := l.waiters[0]
@@ -79,25 +117,52 @@ func (l *creditLedger) release(at sim.Time) {
 		if w.t > at {
 			at = w.t
 		}
-		w.grant(at, true)
+		w.grant(at, at > w.t)
 		return
 	}
 	l.freeAt = append(l.freeAt, at)
 }
 
 // creditAcquire takes one RX credit of dest for a packet this card is
-// about to inject, blocking p until granted. Serial worlds use the
-// semaphore directly; sharded worlds run the ledger protocol above.
+// about to inject, blocking p until granted. Serial worlds run the ledger
+// inline; sharded worlds run the message protocol above.
 func (c *Card) creditAcquire(p *sim.Proc, dest *Card) {
+	t := p.Now()
+	key := creditKey{rank: c.Rank, seq: c.creditSeq}
+	c.creditSeq++
 	if !c.Net.sharded {
-		dest.rxCredits.Acquire(p, 1)
+		eng := c.Eng
+		proc := p
+		inline, granted := true, sim.Time(-1)
+		dest.ledger.request(t, key, func(at sim.Time, blocked bool) {
+			if inline {
+				// Serial releases are stamped now and requests carry now,
+				// so an inline grant can never lie in the future: the
+				// injector continues at t with zero events spent.
+				granted = at
+				return
+			}
+			// Deferred grant from a later release. A blocked grant costs
+			// one counted wake (the semaphore parity); an equal-time one
+			// is bookkeeping only.
+			if blocked {
+				eng.At(at, func() { eng.Wake(proc) })
+			} else {
+				eng.AtInfra(at, func() { eng.Wake(proc) })
+			}
+		})
+		inline = false
+		if granted < 0 {
+			p.Park("rx credits")
+		} else if granted > t {
+			p.SleepUntil(granted)
+		}
 		return
 	}
-	t := p.Now()
 	src := c.Eng
 	proc := p
 	src.Post(dest.Eng.Shard(), t, true, func() {
-		dest.ledger.request(t, func(at sim.Time, blocked bool) {
+		dest.ledger.request(t, key, func(at sim.Time, blocked bool) {
 			dest.Eng.Post(src.Shard(), at, !blocked, func() { src.Wake(proc) })
 		})
 	})
@@ -107,9 +172,5 @@ func (c *Card) creditAcquire(p *sim.Proc, dest *Card) {
 // creditRelease returns one RX credit of this card at time at. It must
 // run on the card's own shard (the RX engine and loss handling do).
 func (c *Card) creditRelease(at sim.Time) {
-	if !c.Net.sharded {
-		c.rxCredits.Release(1)
-		return
-	}
 	c.ledger.release(at)
 }

@@ -63,6 +63,17 @@ func (c *Card) runInjector(p *sim.Proc) {
 		c.txFIFO.Get(p, int64(wire))
 		c.completePacketTX(pkt)
 
+		if c.Net.orderedBooking() {
+			// Static route on a healthy torus in a group: remaining hops
+			// book in wire-arrival order as keyed events (identical at every
+			// shard count), and a dimension-ordered walk can neither deviate
+			// nor dead-end, so the zero tally folds here — as the serial
+			// path always has.
+			c.accountRouting(pkt, tally)
+			c.Net.forwardOrdered(c, pkt, dest, c.Net.Dims.Neighbor(c.Coord, dec.Dir),
+				end.Add(c.Net.hopLat), c.hopKey(), wire)
+			continue
+		}
 		if c.Net.sharded {
 			// The rest of the path may leave this shard: hand it to the
 			// sharded forwarder, which books local hops in place, posts
@@ -98,17 +109,17 @@ func (c *Card) dropUnroutable(p *sim.Proc, pkt *Packet, dest *Card) {
 // destination learns the bytes will never arrive so the damaged job can
 // drain as incomplete instead of stranding a receiver.
 func (c *Card) accountLostPacket(p *sim.Proc, pkt *Packet, dest *Card, reasonFmt string) {
+	t := p.Now()
 	if c.Net.sharded {
 		// The destination's credit pool and progress maps live on its own
 		// shard: hand both effects over as an infra message (the serial
 		// path does this inline with zero events).
-		t := p.Now()
 		c.Eng.Post(dest.Eng.Shard(), t, true, func() {
 			dest.creditRelease(t)
 			dest.rxWireLoss(pkt)
 		})
 	} else {
-		dest.rxCredits.Release(1)
+		dest.creditRelease(t)
 		dest.rxWireLoss(pkt)
 	}
 	c.stats.UnroutablePackets++

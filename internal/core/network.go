@@ -299,6 +299,103 @@ func (n *Network) forward(srcCoord torus.Coord, firstDir torus.Dir, dst torus.Co
 	return arrival, true
 }
 
+// orderedBooking reports whether this world books hop reservations in
+// wire-arrival order — as keyed events at each hop's `from` time —
+// instead of walking the whole path inside the injection event. The two
+// orders give identical results except when overlapping reservations
+// contend for one link in a different sequence; arrival order is the one
+// that is a pure function of the model (stamps and the (rank, seq) key,
+// never of which engine executes what), which is what makes a group's
+// results invariant in the shard count. Serial engines keep the legacy
+// injection-order walk: it is the order every committed baseline was
+// recorded under, and with one heap there is no scheduling freedom for
+// a tie-break to pin down. Groups require a static route — dimension-
+// ordered routing (hop decisions are pure in (cur, dst), never reading
+// clocks or calendars) on a healthy torus (no links down, so a walk can
+// never dead-end mid-route) with a real cable latency (each hop's stamp
+// then exceeds the posting shard's clock by at least the group
+// lookahead, so keyed hop messages are never ingested retroactively).
+// Adaptive, fault-aware, and degraded worlds keep the legacy walks;
+// they are exactly the worlds coll.NewWorld refuses to shard.
+func (n *Network) orderedBooking() bool {
+	if !n.sharded || n.hopLat <= 0 || len(n.linkDown) != 0 {
+		return false
+	}
+	_, dor := n.router.(*route.DimensionOrder)
+	return dor
+}
+
+// hopKey returns the pure tie key for one packet's hop bookings: packed
+// (injecting rank, per-card packet seq), non-zero by construction. Two
+// bookings that land on the same link at the same time execute in key
+// order on every shard count, including one.
+func (c *Card) hopKey() uint64 {
+	c.orderSeq++
+	return uint64(c.Rank+1)<<32 | (c.orderSeq & 0xffffffff)
+}
+
+// forwardOrdered books a packet's hops beyond the injector's first as
+// keyed infra events at each hop's wire-arrival time (see
+// orderedBooking). cur is the node after hop 1, at its arrival time.
+// In a one-slab group the events chain through the one engine's heap;
+// sharded they chain through keyed posts to each hop's owning shard,
+// stamped a full hop latency ahead of the posting clock — same merge
+// order either way. The delivery is one counted event at the computed
+// arrival, exactly like the legacy paths.
+func (n *Network) forwardOrdered(src *Card, pkt *Packet, dest *Card, cur torus.Coord, at sim.Time, key uint64, wire units.ByteSize) {
+	if cur == dest.Coord {
+		n.deliverOrdered(src.Eng, dest, at, pkt)
+		return
+	}
+	n.scheduleHop(src.Eng, n.cards[n.Dims.Rank(cur)].Eng, at, key, n.orderedHop(pkt, dest, cur, key, wire))
+}
+
+// orderedHop returns the booking event for one hop out of cur: executed
+// on cur's owning engine at the packet's arrival time, it books the
+// wire, then chains the next hop or schedules the delivery.
+func (n *Network) orderedHop(pkt *Packet, dest *Card, cur torus.Coord, key uint64, wire units.ByteSize) func() {
+	return func() {
+		rank := n.Dims.Rank(cur)
+		eng := n.cards[rank].Eng
+		t := eng.Now()
+		dec, ok := n.nextHop(cur, dest.Coord, t, wire)
+		if !ok {
+			// orderedBooking guarantees a static route on a healthy torus.
+			panic("core: ordered hop booking dead-ended on a static route")
+		}
+		_, end := n.reserveHop(rank, dec.Dir, t, wire)
+		next := n.Dims.Neighbor(cur, dec.Dir)
+		arrival := end.Add(n.hopLat)
+		if next == dest.Coord {
+			n.deliverOrdered(eng, dest, arrival, pkt)
+			return
+		}
+		n.scheduleHop(eng, n.cards[n.Dims.Rank(next)].Eng, arrival, key, n.orderedHop(pkt, dest, next, key, wire))
+	}
+}
+
+// scheduleHop schedules a keyed hop booking on its owning engine: a
+// keyed infra event when the owner is the executing engine (always, when
+// serial), a keyed post otherwise.
+func (n *Network) scheduleHop(eng, owner *sim.Engine, t sim.Time, key uint64, fn func()) {
+	if owner == eng {
+		eng.AtInfraKeyed(t, key, fn)
+	} else {
+		eng.PostKeyed(owner.Shard(), t, key, fn)
+	}
+}
+
+// deliverOrdered schedules the packet's delivery into the destination's
+// RX queue as one counted event at the computed arrival time. The
+// delivery is always a post — even to the executing shard — so that its
+// merge position relative to same-time events is a function of the
+// round structure alone, never of whether source and destination happen
+// to share a shard at this shard count (orderedBooking implies a
+// group, so Post is always legal here).
+func (n *Network) deliverOrdered(eng *sim.Engine, dest *Card, arrival sim.Time, pkt *Packet) {
+	eng.Post(dest.Eng.Shard(), arrival, false, func() { dest.rxQ.TryPut(pkt) })
+}
+
 // forwardSharded is forward for a sharded torus: hops whose source node
 // lives on the executing shard are booked in place, and when the path
 // reaches a node owned by another shard the remainder is posted there as

@@ -100,6 +100,33 @@ func (c *refChannel) Probe(from sim.Time, n units.ByteSize) sim.Time {
 	return start
 }
 
+// TestTrimAllocFree pins the calendar maintenance path: a channel whose
+// live reservation window is stable must Trim without allocating. The
+// shrink branch keeps 2x headroom above the live window, so the steady
+// state — reserve a burst train, advance the clock past it, Trim —
+// reuses the same backing array round after round. Torus links on a
+// 32^3 run call Trim at every maintenance point; an allocation here is
+// 49k allocations per sweep.
+func TestTrimAllocFree(t *testing.T) {
+	eng := sim.New()
+	ch := NewChannel(eng, "trim", 4000*units.MBps)
+	now := sim.Time(0)
+	cycle := func() {
+		for i := 0; i < 16; i++ {
+			now = now.Add(2 * sim.Microsecond)
+			ch.ReserveRaw(now, 4096)
+		}
+		eng.RunUntil(now)
+		ch.Trim()
+	}
+	for i := 0; i < 8; i++ { // size the backing array once
+		cycle()
+	}
+	if allocs := testing.AllocsPerRun(64, cycle); allocs != 0 {
+		t.Errorf("steady-state reserve+Trim cycle allocated %.1f objects, want 0", allocs)
+	}
+}
+
 // TestChannelMatchesReferenceModel drives the optimized calendar and the
 // linear reference through 10k random operations — framed and raw
 // reservations, probes, clock advances, and Trims on the optimized side

@@ -208,8 +208,17 @@ func (c *Channel) compact() {
 func (c *Channel) Trim() {
 	c.prune()
 	c.compact()
-	if cap(c.busy) >= 64 && len(c.busy) <= cap(c.busy)/4 {
-		c.busy = append(make([]interval, 0, len(c.busy)), c.busy...)
+	// Release oversized backing memory, but keep 2x headroom above the
+	// live window (floor 64 entries): the retained array absorbs the next
+	// reservations instead of regrowing, and a channel whose calendar is
+	// stable trims allocation-free — shrinking only ever halves the
+	// capacity, so an oscillating calendar cannot thrash realloc cycles.
+	want := 2 * len(c.busy)
+	if want < 64 {
+		want = 64
+	}
+	if cap(c.busy) >= 2*want {
+		c.busy = append(make([]interval, 0, want), c.busy...)
 	}
 }
 

@@ -24,6 +24,22 @@ type Event struct {
 	extSrc int
 	extSeq uint64
 	infra  bool
+
+	// pooled events return to the engine's free list when they fire.
+	// Only events whose pointer never escapes the sim package (mailbox
+	// ingestions, AtInfra bookkeeping) are pooled: an *Event returned by
+	// At/After may be held by the caller for Cancel, and recycling it
+	// would alias a later, unrelated event. The free list is per-engine
+	// and only touched by that engine's own execution, so reuse order is
+	// deterministic — unlike sync.Pool, it cannot vary with scheduling.
+	pooled bool
+
+	// key, when non-zero, is a model-level total order for events that
+	// must execute in the same relative order serially and sharded (link
+	// calendar bookings). At equal time, keyed events run after all
+	// unkeyed ones and among themselves in key order — regardless of
+	// which shard posted them or in what sequence. See AtInfraKeyed.
+	key uint64
 }
 
 // Time returns the time at which the event is scheduled to fire.
@@ -49,6 +65,11 @@ type Engine struct {
 	// Group. shard is its index within the group.
 	group *Group
 	shard int
+
+	// free recycles fired pooled events (see Event.pooled). Bounded by
+	// the event-queue high-water mark, it turns the per-message Event
+	// allocation of mailbox ingestion into a pointer swap.
+	free []*Event
 }
 
 // New returns a new Engine at time zero.
@@ -81,10 +102,58 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event in the past (%v < now %v)", t, e.now))
 	}
-	ev := &Event{t: t, seq: e.seq, fn: fn}
+	ev := e.alloc()
+	ev.t, ev.seq, ev.fn = t, e.seq, fn
 	e.seq++
 	e.push(ev)
 	return ev
+}
+
+// AtInfra schedules fn at absolute time t as infrastructure bookkeeping:
+// it executes like any event but is excluded from the step count (the
+// serial-engine counterpart of an infra Post). The event cannot be
+// canceled — no handle escapes, which is what lets it return to the
+// free list when it fires.
+func (e *Engine) AtInfra(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event in the past (%v < now %v)", t, e.now))
+	}
+	ev := e.alloc()
+	ev.t, ev.seq, ev.fn, ev.infra, ev.pooled = t, e.seq, fn, true, true
+	e.seq++
+	e.push(ev)
+}
+
+// AtInfraKeyed is AtInfra with a model-level tie key: at equal time,
+// keyed events execute after every unkeyed event and among themselves
+// in ascending key order. The key must be a pure function of model
+// state (e.g. packed (card rank, packet seq)), never of scheduling —
+// that is what lets a serial heap and a sharded mailbox merge agree on
+// the order of same-time calendar bookings. key must be non-zero.
+func (e *Engine) AtInfraKeyed(t Time, key uint64, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event in the past (%v < now %v)", t, e.now))
+	}
+	ev := e.alloc()
+	ev.t, ev.seq, ev.fn, ev.infra, ev.pooled, ev.key = t, e.seq, fn, true, true, key
+	e.seq++
+	e.push(ev)
+}
+
+// alloc returns a zeroed Event, reusing the free list when possible.
+func (e *Engine) alloc() *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &Event{}
+}
+
+// recycle returns a fired pooled event to the free list.
+func (e *Engine) recycle(ev *Event) {
+	*ev = Event{}
+	e.free = append(e.free, ev)
 }
 
 // After schedules fn to run d after the current time.
@@ -119,7 +188,13 @@ func (e *Engine) Step() bool {
 	if !ev.infra {
 		e.nsteps++
 	}
-	ev.fn()
+	fn := ev.fn
+	if ev.pooled {
+		// Recycle before running fn: the callback may schedule again and
+		// can reuse this very slot. fn never holds the event pointer.
+		e.recycle(ev)
+	}
+	fn()
 	return true
 }
 
@@ -245,6 +320,16 @@ func (e *Engine) Group() *Group { return e.group }
 func eventLess(a, b *Event) bool {
 	if a.t != b.t {
 		return a.t < b.t
+	}
+	// Keyed events (calendar bookings) sort after every unkeyed event at
+	// the same time and by pure key among themselves, so their order is
+	// identical whether they sit in one serial heap or arrived as posts
+	// from different shards.
+	if (a.key != 0) != (b.key != 0) {
+		return a.key == 0
+	}
+	if a.key != 0 {
+		return a.key < b.key
 	}
 	if a.ext != b.ext {
 		return !a.ext // local events before ingested ones at equal time

@@ -1,9 +1,6 @@
 package sim
 
-import (
-	"fmt"
-	"sync"
-)
+import "fmt"
 
 // Group runs several engines — shards of one simulation — in parallel
 // under a conservative parallel-discrete-event protocol.
@@ -48,12 +45,24 @@ type Group struct {
 	// Engine.PruneHorizon). Written only at the round barrier; workers
 	// read it, with the barrier providing the happens-before edge.
 	floor Time
+
+	// Persistent shard workers. A multi-million-round run parks one
+	// long-lived goroutine per shard on its work channel instead of
+	// spawning shards×rounds goroutines: the coordinator hands each busy
+	// shard the round's horizon, the worker drains its heap up to it and
+	// reports on done. The channel operations carry the happens-before
+	// edges the per-round sync.WaitGroup used to provide (coordinator →
+	// worker on send, worker → coordinator on done).
+	work      []chan Time
+	done      chan struct{}
+	workersUp bool
 }
 
 // extMsg is one cross-shard message awaiting ingestion.
 type extMsg struct {
 	t     Time
 	seq   uint64
+	key   uint64 // non-zero: model-level tie key (see Event.key)
 	infra bool
 	fn    func()
 }
@@ -65,9 +74,18 @@ type extMsg struct {
 // positive: it is the minimum cross-shard latency the model guarantees.
 // After NewGroup, eng.Run() drives the whole group and eng.Shutdown()
 // tears it down.
+//
+// n = 1 is legal and meaningful: a one-slab group runs every event on
+// one engine but keeps the group's message protocol — posts defer to
+// the next round barrier whatever their destination. Because that
+// deferral is global (a function of the round structure, which is
+// itself a pure function of event stamps), results are identical at
+// every shard count; the one-slab group is therefore the shard-count-
+// independent reference that sharded equivalence tests compare against
+// for models whose protocol messages execute retroactively.
 func NewGroup(eng *Engine, n int, lookahead Duration) *Group {
-	if n < 2 {
-		panic(fmt.Sprintf("sim: group needs at least 2 shards, got %d", n))
+	if n < 1 {
+		panic(fmt.Sprintf("sim: group needs at least 1 shard, got %d", n))
 	}
 	if lookahead <= 0 {
 		panic(fmt.Sprintf("sim: group needs positive lookahead, got %v", lookahead))
@@ -122,6 +140,23 @@ func (e *Engine) Post(dst int, t Time, infra bool, fn func()) {
 	g.postSeq[src]++
 }
 
+// PostKeyed is Post with a model-level tie key (see AtInfraKeyed): the
+// event is infra and executes, at equal time, after every unkeyed event
+// and in key order among keyed ones — the same place AtInfraKeyed puts
+// it on a serial engine. Unlike plain infra posts the stamp must respect
+// the group's lookahead (t at least now+lookahead), so keyed events are
+// never ingested retroactively: every shard sees all same-time keyed
+// events before executing any of them.
+func (e *Engine) PostKeyed(dst int, t Time, key uint64, fn func()) {
+	g := e.group
+	if g == nil {
+		panic("sim: PostKeyed on an engine outside a group")
+	}
+	src := e.shard
+	g.outbox[src][dst] = append(g.outbox[src][dst], extMsg{t: t, seq: g.postSeq[src], key: key, infra: true, fn: fn})
+	g.postSeq[src]++
+}
+
 // ingest drains every mailbox into the destination heaps. The heap key
 // (t, ext, src, seq) totally orders ingested events, so insertion order
 // is irrelevant. Returns true if any message moved.
@@ -135,7 +170,11 @@ func (g *Group) ingest() bool {
 			}
 			e := g.engines[dst]
 			for _, m := range msgs {
-				e.push(&Event{t: m.t, fn: m.fn, ext: true, extSrc: src, extSeq: m.seq, infra: m.infra})
+				ev := e.alloc()
+				ev.t, ev.fn, ev.key = m.t, m.fn, m.key
+				ev.ext, ev.extSrc, ev.extSeq, ev.infra = true, src, m.seq, m.infra
+				ev.pooled = true
+				e.push(ev)
 			}
 			g.outbox[src][dst] = msgs[:0]
 			any = true
@@ -144,11 +183,43 @@ func (g *Group) ingest() bool {
 	return any
 }
 
+// startWorkers spawns the persistent per-shard workers, once per group.
+func (g *Group) startWorkers() {
+	g.work = make([]chan Time, len(g.engines))
+	g.done = make(chan struct{}, len(g.engines))
+	for i := range g.engines {
+		// Buffered so the coordinator never blocks handing out a round:
+		// by the time a shard is re-activated its worker has already
+		// signaled done and is parked on (or about to reach) the receive.
+		g.work[i] = make(chan Time, 1)
+		go g.worker(i)
+	}
+	g.workersUp = true
+}
+
+// worker drains shard i's heap up to each horizon received on its work
+// channel. It exits when the channel closes at shutdown.
+func (g *Group) worker(i int) {
+	e := g.engines[i]
+	for horizon := range g.work[i] {
+		for {
+			ev := e.peek()
+			if ev == nil || ev.t >= horizon {
+				break
+			}
+			e.Step()
+		}
+		g.done <- struct{}{}
+	}
+}
+
 // run executes the whole group until every heap and mailbox drains.
 func (g *Group) run() {
+	if !g.workersUp {
+		g.startWorkers()
+	}
 	g.running = true
 	var rounds, busyShardRounds uint64
-	var wg sync.WaitGroup
 	for {
 		g.ingest()
 		minNext, ok := g.minPending()
@@ -158,29 +229,21 @@ func (g *Group) run() {
 		g.floor = minNext
 		horizon := minNext.Add(g.lookahead)
 		active := 0
-		for _, e := range g.engines {
+		for i, e := range g.engines {
 			if ev := e.peek(); ev == nil || ev.t >= horizon {
 				continue
 			}
 			active++
-			wg.Add(1)
-			go func(e *Engine) {
-				defer wg.Done()
-				for {
-					ev := e.peek()
-					if ev == nil || ev.t >= horizon {
-						return
-					}
-					e.Step()
-				}
-			}(e)
+			g.work[i] <- horizon
 		}
 		// Window statistics: the busy-shard count per round is the run's
 		// parallel occupancy, the deterministic ceiling on multi-core
 		// speedup (see Account.ShardRounds).
 		rounds++
 		busyShardRounds += uint64(active)
-		wg.Wait()
+		for ; active > 0; active-- {
+			<-g.done
+		}
 	}
 	g.engines[0].account.addShardRounds(rounds, busyShardRounds)
 	g.running = false
@@ -213,8 +276,15 @@ func (g *Group) minPending() (Time, bool) {
 	return min, found
 }
 
-// shutdown tears down every shard's procs and flushes accounting.
+// shutdown retires the persistent workers, tears down every shard's
+// procs, and flushes accounting.
 func (g *Group) shutdown() {
+	if g.workersUp {
+		for _, c := range g.work {
+			close(c)
+		}
+		g.workersUp = false
+	}
 	for _, e := range g.engines {
 		e.shutdownLocal()
 	}
