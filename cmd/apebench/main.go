@@ -21,6 +21,7 @@
 //	apebench -run coll-a2a -router adaptive -hotlinks 3
 //	apebench -run coll-scaling,scale-sweep -scale  # 16^3/32^3 LQCD-scale rows
 //	apebench -run scale-sweep -dims 16,16,16 -shards 4  # 4 parallel engines, bit-identical results
+//	apebench -run route-degraded -trace-out traces/  # stage traces + rendered HTML per experiment
 //	apebench -all -quick -parallel 4 -json out.json
 //	apebench -all -quick -baseline BENCH_2026-07-27.json -tolerance 1
 //	apebench -all -quick -json auto   # writes BENCH_<date>.json
@@ -146,6 +147,7 @@ func main() {
 	scale := flag.Bool("scale", false, "include the LQCD-scale 16^3/32^3 rows in size-sweeping experiments (minutes of wall time)")
 	shards := flag.Int("shards", 1, "run the collective-world experiments across N parallel per-slab engines (1 = serial; results are bit-identical across shard counts N >= 2, and recorded+gated on baseline compares)")
 	hotlinks := flag.Int("hotlinks", 0, "print the top-N congested links after each coll-*/route-* experiment")
+	traceOut := flag.String("trace-out", "", "write per-experiment stage traces (shared trace JSON schema) and rendered HTML pages to this directory; forces the collective worlds serial")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile covering the experiment runs to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile (after the runs, post-GC) to this file")
 	flag.Parse()
@@ -153,6 +155,12 @@ func main() {
 	if *shards < 1 {
 		fmt.Fprintf(os.Stderr, "apebench: -shards %d: want at least 1 (the serial engine)\n", *shards)
 		os.Exit(2)
+	}
+	if *traceOut != "" && *shards > 1 {
+		// Tracing needs a globally ordered event stream, which only the
+		// serial engine produces; coll.NewWorld falls back on its own, but
+		// say so loudly up front rather than silently ignoring the flag.
+		fmt.Fprintf(os.Stderr, "apebench: NOTE: tracing forces serial: -trace-out makes the collective worlds run on the serial engine, so -shards %d is ignored for them (results stay bit-identical; only wall clock changes)\n", *shards)
 	}
 
 	if *list {
@@ -191,6 +199,7 @@ func main() {
 
 	runner := bench.Runner{
 		Parallel: *parallel,
+		TraceDir: *traceOut,
 		Opts: bench.Options{Quick: *quick, Seed: *seed, Dims: dims, TLB: *tlb,
 			Router: routerMode, HotLinks: *hotlinks, Scale: *scale, Shards: *shards},
 		Progress: func(r bench.Result) {
@@ -296,10 +305,10 @@ func main() {
 		}
 		if base.Quick != report.Quick || base.Seed != report.Seed || base.Dims != report.Dims ||
 			base.TLB != report.TLB || base.Router != report.Router || base.Scale != report.Scale ||
-			base.Shards != report.Shards {
-			fmt.Fprintf(os.Stderr, "apebench: incompatible baseline %s (quick=%v seed=%d dims=%q tlb=%v router=%q scale=%v shards=%d, this run quick=%v seed=%d dims=%q tlb=%v router=%q scale=%v shards=%d); rerun with matching flags\n",
-				*baseline, base.Quick, base.Seed, base.Dims, base.TLB, base.Router, base.Scale, base.Shards,
-				report.Quick, report.Seed, report.Dims, report.TLB, report.Router, report.Scale, report.Shards)
+			base.Shards != report.Shards || base.Traced != report.Traced {
+			fmt.Fprintf(os.Stderr, "apebench: incompatible baseline %s (quick=%v seed=%d dims=%q tlb=%v router=%q scale=%v shards=%d traced=%v, this run quick=%v seed=%d dims=%q tlb=%v router=%q scale=%v shards=%d traced=%v); rerun with matching flags\n",
+				*baseline, base.Quick, base.Seed, base.Dims, base.TLB, base.Router, base.Scale, base.Shards, base.Traced,
+				report.Quick, report.Seed, report.Dims, report.TLB, report.Router, report.Scale, report.Shards, report.Traced)
 			os.Exit(1)
 		}
 		// Keep stdout parseable in -csv mode; the diff goes to stderr there.

@@ -74,7 +74,12 @@ func main() {
 
 	elapsed := done.Sub(start)
 	if *jsonOut {
-		if err := rec.WriteJSON(os.Stdout); err != nil {
+		// The shared capture schema (docs/REPORTS.md): the same trace.File
+		// apebench -trace-out writes and apetrace renders, so one toolchain
+		// reads every capture. apetrace still accepts the legacy bare
+		// event-array dumps.
+		f := trace.NewFile("pciescope", fmt.Sprintf("p2p-v%d-%s", *version, size), rec)
+		if err := f.Write(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "pciescope:", err)
 			os.Exit(1)
 		}

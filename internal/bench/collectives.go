@@ -40,8 +40,10 @@ func collWorld(o Options, dims torus.Dims) (*sim.Engine, *coll.World) {
 		Buf:       core.GPUMem,
 		SlotBytes: collSlot,
 		Shards:    shards,
+		Rec:       o.Rec,
 	})
 	must(err)
+	o.traceWorld(dims, dims.Nodes())
 	return eng, w
 }
 

@@ -71,6 +71,30 @@ type Options struct {
 	// Account, when non-nil, aggregates engine and executed-event counts
 	// from every simulation the experiment builds.
 	Account *sim.Account
+	// Rec, when non-nil, is a per-experiment trace recorder in
+	// stage-capture mode, set by the Runner when apebench -trace-out is
+	// given. The experiments that build traceable worlds (the coll-*,
+	// route-* and op-breakdown families) thread it into their worlds;
+	// recording is strictly off the Report path — no cell changes when a
+	// recorder is attached — but it does force those worlds serial (see
+	// coll.World.Notice).
+	Rec *trace.Recorder
+}
+
+// traceWorld marks a world boundary in the stage-capture trace (dims
+// drive the renderer's detour detection) — a no-op off stage capture.
+func (o Options) traceWorld(dims torus.Dims, n int) {
+	if o.Rec.Stages() {
+		o.Rec.Emit(0, "coll", "world", int64(n), dims.String())
+	}
+}
+
+// traceLinks snapshots the network's link counters into the trace at the
+// end of a traced experiment — a no-op off stage capture.
+func (o Options) traceLinks(net *core.Network) {
+	if o.Rec.Stages() {
+		net.TraceLinkStats(o.Rec)
+	}
 }
 
 // SeedOr returns o.Seed, or def when no seed override is set.
@@ -145,6 +169,7 @@ func All() []Experiment {
 		{"get-lat", "GET round trip vs PUT latency across buffer paths", "rdma-get", GetLat},
 		{"get-bw", "Pipelined GET bandwidth vs outstanding-request window", "rdma-get", GetBW},
 		{"get-degraded", "GETs over cut cables: request vs reply detours, isolated responder refused", "rdma-get", GetDegraded},
+		{"op-breakdown", "Per-op pipeline stage percentiles from stage-capture traces", "observability", OpBreakdown},
 	}
 }
 

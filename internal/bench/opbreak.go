@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"fmt"
+
+	"apenetsim/internal/cluster"
+	"apenetsim/internal/core"
+	"apenetsim/internal/opmetrics"
+	"apenetsim/internal/rdma"
+	"apenetsim/internal/sim"
+	"apenetsim/internal/torus"
+	"apenetsim/internal/trace"
+	"apenetsim/internal/units"
+)
+
+// OpBreakdown decomposes PUTs and GETs crossing a small torus into their
+// pipeline stages — the simulation's version of the paper's bus-analyzer
+// PUT decomposition (Fig 3), extended across the wire: submit, TX-queue
+// wait, injection, per-hop wire time, the RX validate/translate/DMA
+// stages and the completion delivery, plus the responder serve and reply
+// crossing for GETs. It runs its own stage-capture recorder (or the
+// Runner's, under -trace-out), folds the spans into per-op records with
+// internal/opmetrics, and reports per-stage duration percentiles. Zero =
+// not measured: stages an op never entered simply don't appear in its
+// record (see docs/OBSERVABILITY.md).
+func OpBreakdown(o Options) *Report {
+	dims := torus.Dims{X: 4, Y: 2, Z: 2}
+	puts, gets := 12, 6
+	if o.Quick {
+		puts, gets = 6, 3
+	}
+	msg := units.ByteSize(64 * units.KB)
+	cfg := o.config()
+
+	rec := o.Rec
+	if rec == nil {
+		rec = trace.New()
+		rec.SetStages(true)
+	}
+	eng := sim.NewWithAccount(o.Account)
+	defer eng.Shutdown()
+	cl, err := cluster.New(eng, rec, dims, dims.Nodes(), func(i int) cluster.NodeConfig {
+		return cluster.NodeConfig{Card: &cfg}
+	})
+	must(err)
+	o.traceWorld(dims, dims.Nodes())
+
+	// Rank 0 pushes PUTs to the torus-diagonal rank and pulls GETs back
+	// from it: both op families cross several hops, so every wire stage
+	// is exercised.
+	far := dims.Rank(torus.Coord{X: dims.X / 2, Y: dims.Y / 2, Z: dims.Z / 2})
+	near := cl.Net.Card(0)
+	remote := cl.Net.Card(far)
+	epN := rdma.NewEndpoint(near)
+	epF := rdma.NewEndpoint(remote)
+
+	ready := sim.NewSignal(eng)
+	var dstF, srcF *rdma.Buffer
+	eng.Go("remote", func(p *sim.Proc) {
+		dstF = newBuffer(p, epF, nil, core.HostMem, msg)
+		srcF = newBuffer(p, epF, nil, core.HostMem, msg)
+		ready.Broadcast()
+	})
+	eng.Go("near", func(p *sim.Proc) {
+		local := newBuffer(p, epN, nil, core.HostMem, msg)
+		for dstF == nil || srcF == nil {
+			ready.Wait(p, "bench.opbreak.ready")
+		}
+		for i := 0; i < puts; i++ {
+			_, err := epN.PutBuffer(p, far, dstF, local, msg, rdma.PutFlags{})
+			must(err)
+		}
+		epN.DrainSends(p, puts)
+		for i := 0; i < gets; i++ {
+			_, err := epN.GetBuffer(p, far, srcF, local, msg, rdma.GetFlags{})
+			must(err)
+		}
+		epN.DrainGets(p, gets)
+	})
+	eng.Run()
+	o.traceLinks(cl.Net)
+
+	ops := opmetrics.Collect(rec.Events())
+	var nPut, nGet int
+	for _, op := range ops {
+		if op.Kind == "get" {
+			nGet++
+		} else {
+			nPut++
+		}
+	}
+	var rows [][]string
+	for _, s := range opmetrics.Summarize(ops) {
+		rows = append(rows, []string{
+			s.Stage, fmt.Sprint(s.Count),
+			f1(s.P50.Micros()), f1(s.P90.Micros()), f1(s.Max.Micros()),
+		})
+	}
+	rep := &Report{ID: "op-breakdown",
+		Title:  fmt.Sprintf("Per-op pipeline stage breakdown (%v torus, %d PUTs + %d GETs of %v, rank 0 <-> rank %d)", dims, puts, gets, msg, far),
+		Header: []string{"stage", "ops", "p50", "p90", "max"},
+		Units:  []string{"", "", "us", "us", "us"},
+		Rows:   rows,
+		Notes: []string{
+			"stages in pipeline order; 'ops' counts the operations that measured the stage (zero-start/end stages are unmeasured, not zero-cost)",
+			"wire covers the request leg's hop spans; serve and reply_wire exist only for GETs (responder pipeline and reply crossing)",
+			"total = submit start to deliver end; under apebench -trace-out the same spans feed the rendered space-time diagram",
+		},
+	}
+	rep.SetMeta("dims", dims.String())
+	rep.SetMeta("msg", msg.String())
+	rep.SetMeta("puts", fmt.Sprint(nPut))
+	rep.SetMeta("gets", fmt.Sprint(nGet))
+	return rep
+}

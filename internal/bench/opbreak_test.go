@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestOpBreakdownMeasuresEveryStage(t *testing.T) {
+	rep := OpBreakdown(Options{Quick: true})
+	if rep == nil || len(rep.Rows) == 0 {
+		t.Fatal("no report rows")
+	}
+	want := []string{"submit", "txq", "inject", "wire", "serve", "reply_wire",
+		"rx_validate", "rx_translate", "rx_dma", "deliver", "total"}
+	if len(rep.Rows) != len(want) {
+		t.Fatalf("got %d stages, want %d:\n%v", len(rep.Rows), len(want), rep.Rows)
+	}
+	counts := map[string]int{}
+	for i, row := range rep.Rows {
+		if row[0] != want[i] {
+			t.Fatalf("row %d = %q, want pipeline order %q", i, row[0], want[i])
+		}
+		n, err := strconv.Atoi(row[1])
+		if err != nil || n <= 0 {
+			t.Fatalf("stage %s measured by %q ops", row[0], row[1])
+		}
+		counts[row[0]] = n
+	}
+	// 6 quick PUTs + 3 quick GETs all cross the wire; only the GETs have
+	// a responder serve and a reply crossing.
+	if counts["total"] != 9 || counts["wire"] != 9 {
+		t.Fatalf("op counts = %v, want 9 end-to-end ops", counts)
+	}
+	if counts["serve"] != 3 || counts["reply_wire"] != 3 {
+		t.Fatalf("GET-only stage counts = serve %d, reply_wire %d, want 3", counts["serve"], counts["reply_wire"])
+	}
+	if rep.Meta["puts"] != "6" || rep.Meta["gets"] != "3" {
+		t.Fatalf("meta = %v", rep.Meta)
+	}
+}
+
+// TestOpBreakdownIsDeterministic pins the experiment's value as a
+// baseline-diffable table: two runs must agree cell for cell.
+func TestOpBreakdownIsDeterministic(t *testing.T) {
+	a, b := OpBreakdown(Options{Quick: true}), OpBreakdown(Options{Quick: true})
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(a.Rows), len(b.Rows))
+	}
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			if a.Rows[i][j] != b.Rows[i][j] {
+				t.Fatalf("cell [%d][%d] differs: %q vs %q", i, j, a.Rows[i][j], b.Rows[i][j])
+			}
+		}
+	}
+}

@@ -80,7 +80,13 @@ type Run struct {
 	// to serial, except scale-sweep's peak-pending cell, which measures
 	// per-engine queues). Additive field: older schema-1 readers ignore
 	// it.
-	Shards  int      `json:"shards,omitempty"`
+	Shards int `json:"shards,omitempty"`
+	// Traced records a -trace-out run: every experiment carried a
+	// stage-capture recorder, which forces the coll worlds serial (a
+	// -shards request is ignored) and perturbs wall-clock numbers, so
+	// baseline compares gate on it. Additive field: older schema-1
+	// readers ignore it.
+	Traced  bool     `json:"traced,omitempty"`
 	Results []Result `json:"results"`
 }
 

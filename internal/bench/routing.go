@@ -40,8 +40,10 @@ func routedWorld(o Options, dims torus.Dims, mode route.Mode) (*sim.Engine, *col
 		Dims:      dims,
 		Card:      &cfg,
 		SlotBytes: collSlot,
+		Rec:       o.Rec,
 	})
 	must(err)
+	o.traceWorld(dims, dims.Nodes())
 	return eng, w
 }
 

@@ -3,12 +3,16 @@ package bench
 import (
 	"fmt"
 	"hash/fnv"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
 
 	"apenetsim/internal/route"
 	"apenetsim/internal/sim"
+	"apenetsim/internal/trace"
+	"apenetsim/internal/trace/render"
 )
 
 // Runner executes experiments across a worker pool. Experiments are
@@ -29,6 +33,13 @@ type Runner struct {
 	// Progress, when non-nil, is called once per finished experiment, from
 	// a single goroutine at a time.
 	Progress func(Result)
+	// TraceDir, when non-empty, gives every experiment its own recorder in
+	// stage-capture mode and writes its capture (shared trace.File schema)
+	// and rendered HTML page to TraceDir/<id>.json and TraceDir/<id>.html.
+	// Experiments that emitted nothing write no files. Tracing forces the
+	// coll worlds serial and is recorded as Run.Traced so baseline compares
+	// can gate on it.
+	TraceDir string
 
 	mu sync.Mutex // serializes Progress
 }
@@ -67,6 +78,7 @@ func (r *Runner) Run(exps []Experiment) *Run {
 	if r.Opts.Router != route.ModeDimensionOrder {
 		run.Router = r.Opts.Router.String()
 	}
+	run.Traced = r.TraceDir != ""
 
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -100,6 +112,10 @@ func (r *Runner) runOne(e Experiment) Result {
 	acct := &sim.Account{}
 	opts.Account = acct
 	opts.Seed = DeriveSeed(r.Opts.Seed, e.ID)
+	if r.TraceDir != "" {
+		opts.Rec = trace.New()
+		opts.Rec.SetStages(true)
+	}
 
 	res := Result{ID: e.ID, Title: e.Title, Seed: opts.Seed}
 	start := time.Now()
@@ -113,6 +129,11 @@ func (r *Runner) runOne(e Experiment) Result {
 		res.Report = e.Run(opts)
 	}()
 	res.WallSeconds = time.Since(start).Seconds()
+	if opts.Rec.Len() > 0 {
+		if err := r.writeTrace(e.ID, opts.Rec); err != nil && res.Err == "" {
+			res.Err = fmt.Sprintf("trace-out: %v", err)
+		}
+	}
 	res.SimSteps = acct.Steps()
 	res.SimEngines = acct.Engines()
 	res.PeakPending = acct.PeakPending()
@@ -125,6 +146,22 @@ func (r *Runner) runOne(e Experiment) Result {
 		r.Opts.Account.AddFrom(acct)
 	}
 	return res
+}
+
+// writeTrace saves one experiment's stage capture and its rendered HTML
+// page under TraceDir.
+func (r *Runner) writeTrace(id string, rec *trace.Recorder) error {
+	if err := os.MkdirAll(r.TraceDir, 0o755); err != nil {
+		return err
+	}
+	f := trace.NewFile("apebench", id, rec)
+	if r.Opts.Dims.Valid() {
+		f.Dims = r.Opts.Dims.String()
+	}
+	if err := f.Save(filepath.Join(r.TraceDir, id+".json")); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(r.TraceDir, id+".html"), render.Page(f), 0o644)
 }
 
 // DeriveSeed maps (base seed, experiment ID) to a per-experiment seed.

@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/xml"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"apenetsim/internal/trace"
+)
+
+// TestTraceOutRendersDetours drives the whole -trace-out pipeline on the
+// route-degraded experiment — the acceptance scenario: the runner gives
+// the experiment a stage-capture recorder, writes the capture in the
+// shared schema, and the rendered space-time diagram marks detoured
+// packets off the minimal staircase.
+func TestTraceOutRendersDetours(t *testing.T) {
+	dir := t.TempDir()
+	exps, err := Select([]string{"route-degraded"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Runner{Parallel: 1, Opts: Options{Quick: true}, TraceDir: dir}
+	run := r.Run(exps)
+	if !run.Traced {
+		t.Fatal("run not marked Traced")
+	}
+	if res := run.Results[0]; res.Err != "" {
+		t.Fatalf("route-degraded failed: %s", res.Err)
+	}
+
+	f, err := trace.LoadFile(filepath.Join(dir, "route-degraded.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Source != "apebench" || f.Label != "route-degraded" || len(f.Events) == 0 {
+		t.Fatalf("capture provenance = %+v (%d events)", f, len(f.Events))
+	}
+	hops := 0
+	for _, ev := range f.Events {
+		if ev.Kind == "hop" {
+			hops++
+		}
+	}
+	if hops == 0 {
+		t.Fatal("capture holds no wire-hop spans")
+	}
+
+	page, err := os.ReadFile(filepath.Join(dir, "route-degraded.html"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(page), "detoured (red, dashed") ||
+		!strings.Contains(string(page), "stroke-dasharray") {
+		t.Fatal("space-time diagram shows no detoured packets for a degraded torus")
+	}
+	if n := countWellFormedSVGs(t, page); n != 2 {
+		t.Fatalf("page embeds %d well-formed SVGs, want 2", n)
+	}
+}
+
+// countWellFormedSVGs XML-parses every <svg>...</svg> block in page.
+func countWellFormedSVGs(t *testing.T, page []byte) int {
+	t.Helper()
+	n := 0
+	rest := page
+	for {
+		i := bytes.Index(rest, []byte("<svg"))
+		if i < 0 {
+			break
+		}
+		j := bytes.Index(rest[i:], []byte("</svg>"))
+		if j < 0 {
+			t.Fatal("unterminated <svg> block")
+		}
+		dec := xml.NewDecoder(bytes.NewReader(rest[i : i+j+len("</svg>")]))
+		for {
+			if _, err := dec.Token(); err != nil {
+				if err.Error() == "EOF" {
+					break
+				}
+				t.Fatalf("SVG %d is not well-formed XML: %v", n, err)
+			}
+		}
+		n++
+		rest = rest[i+j:]
+	}
+	return n
+}
+
+// TestUntracedRunsEmitNoStageEvents pins the determinism contract: a
+// recorder without stage capture sees the exact pre-existing event
+// stream, so every committed baseline stays bit-identical.
+func TestUntracedRunsEmitNoStageEvents(t *testing.T) {
+	rec := trace.New() // enabled, but not in stage-capture mode
+	rep := OpBreakdown(Options{Quick: true, Rec: rec})
+	if rep == nil {
+		t.Fatal("no report")
+	}
+	for _, ev := range rec.Events() {
+		if strings.HasSuffix(ev.Comp, ".op") || strings.HasPrefix(ev.Comp, "wire.") ||
+			ev.Kind == "task" || ev.Kind == "world" || ev.Kind == "link_stats" {
+			t.Fatalf("stage event leaked into a non-stages recorder: %+v", ev)
+		}
+	}
+}

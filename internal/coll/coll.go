@@ -86,8 +86,14 @@ type World struct {
 	Ranks []*Rank
 
 	bar    *barrier
-	shards int // effective shard count (1 = serial)
+	shards int    // effective shard count (1 = serial)
+	notice string // non-empty when a shard request was clamped to serial
 }
+
+// Notice returns the explanation recorded when a sharding request could
+// not be honored ("" when the world runs exactly as configured) — e.g.
+// "tracing forces serial" when a recorder is attached with Shards > 1.
+func (w *World) Notice() string { return w.notice }
 
 // Rank is one collective participant: a node, its card endpoint, and the
 // registered buffers collectives move data through.
@@ -166,7 +172,27 @@ func NewWorld(eng *sim.Engine, cfg Config) (*World, error) {
 		return nil, fmt.Errorf("coll: %d shards requested but torus %v slices into at most %d slabs along its longest axis (see MaxShards)",
 			shards, cfg.Dims, ax)
 	}
+	// Worlds a sim.Group cannot run bit-exact fall back to the serial
+	// engine. The fallback used to be silent; it is now recorded on the
+	// World (Notice) so callers — apebench in particular — can surface
+	// "tracing forces serial" instead of quietly dropping a -shards
+	// request.
+	notice := ""
 	if cc.Routing.Mode != route.ModeDimensionOrder || cfg.Rec != nil || cc.HopLatency <= 0 {
+		if shards > 1 || groupOne {
+			reason := "non-dimension-ordered routing is not shardable"
+			switch {
+			case cfg.Rec != nil:
+				reason = "tracing forces serial"
+			case cc.HopLatency <= 0:
+				reason = "zero hop latency leaves no group lookahead"
+			}
+			req := fmt.Sprintf("%d-shard request", shards)
+			if groupOne {
+				req = "1-engine group request"
+			}
+			notice = fmt.Sprintf("coll: %s: %s falls back to the serial engine", reason, req)
+		}
 		shards = 1
 		groupOne = false
 	}
@@ -186,7 +212,7 @@ func NewWorld(eng *sim.Engine, cfg Config) (*World, error) {
 	if err != nil {
 		return nil, err
 	}
-	w := &World{Eng: eng, Cl: cl, Dims: cfg.Dims, Cfg: cfg, bar: newBarrier(eng, n, g), shards: shards}
+	w := &World{Eng: eng, Cl: cl, Dims: cfg.Dims, Cfg: cfg, bar: newBarrier(eng, n, g), shards: shards, notice: notice}
 	for i, node := range cl.Nodes {
 		w.Ranks = append(w.Ranks, &Rank{
 			ID:      i,
@@ -261,6 +287,11 @@ func (w *World) Run(body func(p *sim.Proc, r *Rank)) {
 		})
 	}
 	w.Eng.Run()
+	if w.Cfg.Rec.Stages() {
+		// Stage captures carry the final link counters so the renderer's
+		// link table matches the network's own meters.
+		w.Net().TraceLinkStats(w.Cfg.Rec)
+	}
 }
 
 // setup allocates and registers the rank's communication buffers.

@@ -1,0 +1,49 @@
+package coll
+
+import (
+	"strings"
+	"testing"
+
+	"apenetsim/internal/sim"
+	"apenetsim/internal/torus"
+	"apenetsim/internal/trace"
+)
+
+func TestTracedWorldForcesSerialWithNotice(t *testing.T) {
+	dims := torus.Dims{X: 4, Y: 2, Z: 2}
+
+	eng := sim.New()
+	defer eng.Shutdown()
+	w, err := NewWorld(eng, Config{Dims: dims, Rec: trace.New(), Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Shards() != 1 {
+		t.Fatalf("traced world runs %d shards, want serial", w.Shards())
+	}
+	if n := w.Notice(); !strings.Contains(n, "tracing forces serial") {
+		t.Fatalf("Notice() = %q, want the tracing-forces-serial explanation", n)
+	}
+
+	// The same request without a recorder shards as asked, silently.
+	eng2 := sim.New()
+	defer eng2.Shutdown()
+	w2, err := NewWorld(eng2, Config{Dims: dims, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.Shards() != 2 || w2.Notice() != "" {
+		t.Fatalf("untraced world = %d shards, notice %q; want 2 shards and no notice", w2.Shards(), w2.Notice())
+	}
+
+	// A traced serial request was never clamped, so it carries no notice.
+	eng3 := sim.New()
+	defer eng3.Shutdown()
+	w3, err := NewWorld(eng3, Config{Dims: dims, Rec: trace.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w3.Shards() != 1 || w3.Notice() != "" {
+		t.Fatalf("traced serial world = %d shards, notice %q; want 1 shard and no notice", w3.Shards(), w3.Notice())
+	}
+}

@@ -31,7 +31,7 @@ func BenchmarkForwardHop(b *testing.B) {
 			var t sim.Time
 			for i := 0; i < b.N; i++ {
 				var tally routeTally
-				arrival, ok := net.forward(src, torus.XPlus, dst, t, wire, &tally)
+				arrival, ok := net.forward(nil, nil, src, torus.XPlus, dst, t, wire, &tally)
 				if !ok {
 					b.Fatal("forward failed on a healthy torus")
 				}

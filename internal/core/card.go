@@ -200,6 +200,7 @@ func NewCard(eng *sim.Engine, cfg Config, rec *trace.Recorder, name string,
 		}
 	}
 	c.hostReader = fab.NewReader(pci, hostMem, cfg.HostReadOutstanding, cfg.HostReadChunk)
+	c.Nios.SetRecorder(rec)
 	net.register(c)
 	return c, nil
 }
@@ -285,7 +286,9 @@ func (c *Card) Submit(p *sim.Proc, job *TXJob) error {
 	c.assignJobID(job)
 	job.Submitted = p.Now()
 	p.Sleep(c.Cfg.TXDriverPerMessage)
+	c.stage(job.Submitted, p.Now(), "submit", job, job.Bytes, stageNote(job, c.Rank))
 	c.stats.JobsSubmitted++
+	job.enqueued = p.Now()
 	c.txq.Put(p, job)
 	return nil
 }
@@ -323,6 +326,9 @@ func (c *Card) packetize(job *TXJob) []*Packet {
 func (c *Card) runTX(p *sim.Proc) {
 	for {
 		job := c.txq.Get(p)
+		if job.enqueued > 0 {
+			c.stage(job.enqueued, p.Now(), "txq", job, job.Bytes, "leg="+job.Kind.String())
+		}
 		if job.Kind == JobGetRequest || job.Kind == JobGetError {
 			c.txControl(p, job)
 			continue

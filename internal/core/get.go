@@ -112,6 +112,8 @@ func (c *Card) SubmitGet(p *sim.Proc, job *GetJob) error {
 		c.Rec.Emit(p.Now(), c.Name+".get", "get_request", int64(job.Bytes),
 			fmt.Sprintf("req %d: rank %d addr %#x -> local %#x", job.ID, job.RemoteRank, job.RemoteAddr, job.LocalAddr))
 	}
+	c.stage(job.Submitted, p.Now(), "submit", req, job.Bytes, stageNote(req, c.Rank))
+	req.enqueued = p.Now()
 	c.txq.Put(p, req)
 	return nil
 }
@@ -127,6 +129,7 @@ func (c *Card) OutstandingGets() int { return len(c.outstandingGets) }
 // "GPU_P2P_TX".
 func (c *Card) rxGetRequest(p *sim.Proc, pkt *Packet) {
 	m := pkt.Job.get
+	tServe := p.Now()
 	c.Nios.Exec(p, "GET", c.Cfg.GetRequestHandling)
 	bytes := m.bytes
 	entry, scanned, ok := c.BufList.Lookup(m.remoteAddr, bytes)
@@ -152,6 +155,7 @@ func (c *Card) rxGetRequest(p *sim.Proc, pkt *Packet) {
 		c.Rec.Emit(p.Now(), c.Name+".get", "get_reply", int64(bytes),
 			fmt.Sprintf("req %d: %s read %#x -> rank %d", m.reqID, entry.Kind, m.remoteAddr, m.requester))
 	}
+	c.stage(tServe, p.Now(), "serve", reply, bytes, fmt.Sprintf("responder=%d", c.Rank))
 	c.submitGetReply(p, reply)
 }
 
@@ -187,6 +191,7 @@ func (c *Card) replyGetError(p *sim.Proc, m *getMeta, status string) {
 func (c *Card) submitGetReply(p *sim.Proc, job *TXJob) {
 	c.assignJobID(job)
 	job.Submitted = p.Now()
+	job.enqueued = p.Now()
 	c.getReplyQ.Put(p, job)
 }
 
@@ -266,10 +271,12 @@ func (c *Card) rxGetError(p *sim.Proc, pkt *Packet) {
 // finished, exactly like a PUT's RecvDone — but it lands on the GetCQ,
 // matched to the outstanding request by reqID.
 func (c *Card) completeGetReply(p *sim.Proc, job *TXJob, arrival sim.Time) {
+	tFin := p.Now()
 	c.Nios.Exec(p, "RX", c.Cfg.RXCompletion)
 	if now := c.Eng.Now(); arrival < now {
 		arrival = now
 	}
+	c.stage(tFin, arrival, "deliver", job, job.Bytes, fmt.Sprintf("src=%d", job.srcRank))
 	reqID, bytes := job.get.reqID, job.Bytes
 	c.Eng.At(arrival, func() { c.finishGet(reqID, bytes, "") })
 }

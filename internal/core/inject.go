@@ -58,10 +58,12 @@ func (c *Card) runInjector(p *sim.Proc) {
 			continue
 		}
 		tally.add(dec)
-		_, end := c.Net.reserveHop(c.Rank, dec.Dir, injT, wire)
+		hopStart, end := c.Net.reserveHop(c.Rank, dec.Dir, injT, wire)
 		p.SleepUntil(end)
 		c.txFIFO.Get(p, int64(wire))
 		c.completePacketTX(pkt)
+		c.stage(injT, hopStart, "inject", pkt.Job, wire, fmt.Sprintf("seq=%d", pkt.Seq))
+		c.Net.traceHop(c.Rec, pkt, c.Rank, dec, hopStart, end)
 
 		if c.Net.orderedBooking() {
 			// Static route on a healthy torus in a group: remaining hops
@@ -82,7 +84,7 @@ func (c *Card) runInjector(p *sim.Proc) {
 				end.Add(c.Net.hopLat), injT, wire, tally, c.Eng)
 			continue
 		}
-		arrival, ok := c.Net.forward(c.Coord, dec.Dir, dstCoord, end, wire, &tally)
+		arrival, ok := c.Net.forward(c.Rec, pkt, c.Coord, dec.Dir, dstCoord, end, wire, &tally)
 		c.accountRouting(pkt, tally)
 		if !ok {
 			// Mid-route dead end (a link died under a fault-blind router

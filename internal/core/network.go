@@ -282,8 +282,11 @@ func (n *Network) nextHop(cur, dst torus.Coord, at sim.Time, wire units.ByteSize
 // remaining hop at the packet's cut-through arrival time and books it,
 // until the packet reaches dst. ok=false means a mid-route dead end (a
 // link died under a fault-blind router): the packet is lost and the
-// caller must account it.
-func (n *Network) forward(srcCoord torus.Coord, firstDir torus.Dir, dst torus.Coord, firstHopEnd sim.Time, wire units.ByteSize, tally *routeTally) (arrival sim.Time, ok bool) {
+// caller must account it. rec/pkt feed the per-hop wire spans of the
+// stage-capture trace (traceHop) and may be nil when nothing records.
+// Sharded forwarders carry no trace hooks: worlds that trace are always
+// serial (coll.NewWorld forces serial when a recorder is attached).
+func (n *Network) forward(rec *trace.Recorder, pkt *Packet, srcCoord torus.Coord, firstDir torus.Dir, dst torus.Coord, firstHopEnd sim.Time, wire units.ByteSize, tally *routeTally) (arrival sim.Time, ok bool) {
 	cur := n.Dims.Neighbor(srcCoord, firstDir)
 	arrival = firstHopEnd.Add(n.hopLat)
 	for cur != dst {
@@ -292,11 +295,25 @@ func (n *Network) forward(srcCoord torus.Coord, firstDir torus.Dir, dst torus.Co
 			return arrival, false
 		}
 		tally.add(dec)
-		_, end := n.reserveHop(n.Dims.Rank(cur), dec.Dir, arrival, wire)
+		start, end := n.reserveHop(n.Dims.Rank(cur), dec.Dir, arrival, wire)
+		n.traceHop(rec, pkt, n.Dims.Rank(cur), dec, start, end)
 		arrival = end.Add(n.hopLat)
 		cur = n.Dims.Neighbor(cur, dec.Dir)
 	}
 	return arrival, true
+}
+
+// traceHop emits one wire-hop span for a packet crossing a link, tagged
+// with the owning op's key and the router's account of the decision;
+// only recorders in stage-capture mode see it.
+func (n *Network) traceHop(rec *trace.Recorder, pkt *Packet, fromRank int, dec route.Decision, start, end sim.Time) {
+	if pkt == nil || !rec.Stages() {
+		return
+	}
+	from := n.Dims.CoordOf(fromRank)
+	to := n.Dims.Rank(n.Dims.Neighbor(from, dec.Dir))
+	rec.EmitOp(start, end, "wire."+LinkID{from, dec.Dir}.String(), "hop", opKey(pkt.Job),
+		int64(pkt.Bytes), legNote(pkt.Job, pkt.Seq, fromRank, to, dec))
 }
 
 // orderedBooking reports whether this world books hop reservations in

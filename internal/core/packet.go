@@ -73,6 +73,11 @@ type TXJob struct {
 	// Submitted is stamped by the card when the driver accepts the job.
 	Submitted sim.Time
 
+	// enqueued is stamped just before the job enters the TX queue, so the
+	// txq op-stage span can cover backpressure + queue residency. Zero on
+	// jobs that bypass the stamped Put sites (stage span not measured).
+	enqueued sim.Time
+
 	srcRank int
 	// routedAround marks that some packet of the job was detoured around
 	// a link marked down; the injector counts the job once, on its last

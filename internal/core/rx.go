@@ -47,13 +47,19 @@ func (c *Card) runRX(p *sim.Proc) {
 			continue
 		}
 
+		tVal := p.Now()
 		entry, scanned, ok := c.rxValidate(pkt)
+		c.stage(tVal, p.Now(), "rx_validate", pkt.Job, pkt.Bytes, fmt.Sprintf("seq=%d scanned=%d", pkt.Seq, scanned))
+		tXlat := p.Now()
 		c.rxTranslate(p, pkt, scanned, ok)
+		c.stage(tXlat, p.Now(), "rx_translate", pkt.Job, pkt.Bytes, fmt.Sprintf("seq=%d", pkt.Seq))
 		if !ok {
 			c.rxDrop(p, pkt)
 			continue
 		}
+		tDMA := p.Now()
 		arrival := c.rxProgramDMA(p, pkt, entry)
+		c.stage(tDMA, arrival, "rx_dma", pkt.Job, pkt.Bytes, fmt.Sprintf("seq=%d", pkt.Seq))
 		c.rxDeliver(p, pkt, arrival)
 	}
 }
@@ -195,10 +201,12 @@ func (c *Card) rxFinishJob(p *sim.Proc, job *TXJob, arrival sim.Time) {
 	// Firmware raises the completion event for the message; it is
 	// delivered when both the firmware work and the payload's DMA write
 	// have finished.
+	tFin := p.Now()
 	c.Nios.Exec(p, "RX", c.Cfg.RXCompletion)
 	if now := c.Eng.Now(); arrival < now {
 		arrival = now
 	}
+	c.stage(tFin, arrival, "deliver", job, job.Bytes, fmt.Sprintf("src=%d", job.srcRank))
 	comp := Completion{
 		Kind:    RecvDone,
 		JobID:   job.ID,

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"apenetsim/internal/sim"
+	"apenetsim/internal/trace"
 )
 
 // RefClockMHz is the clock at which task costs in this repository are
@@ -24,7 +25,14 @@ type CPU struct {
 	res      *sim.Resource
 	taskBusy map[string]sim.Duration
 	taskRuns map[string]int64
+	rec      *trace.Recorder
 }
+
+// SetRecorder attaches a trace recorder. Task executions are emitted as
+// spans ("task" events covering queue wait + execution) only when the
+// recorder is in stage-capture mode (trace.Recorder.SetStages), so
+// ordinary recorders see no new events.
+func (c *CPU) SetRecorder(rec *trace.Recorder) { c.rec = rec }
 
 // New returns a CPU running at clockMHz. Task costs passed to Exec are
 // interpreted as durations at RefClockMHz and scaled by RefClockMHz/clockMHz,
@@ -59,7 +67,11 @@ func (c *CPU) Exec(p *sim.Proc, task string, refDur sim.Duration) {
 		return
 	}
 	d := c.Scale(refDur)
+	t0 := p.Now()
 	c.res.Use(p, d)
+	if c.rec.Stages() {
+		c.rec.EmitSpan(t0, p.Now(), c.name, "task", 0, task)
+	}
 	c.taskBusy[task] += d
 	c.taskRuns[task]++
 }

@@ -1,0 +1,305 @@
+// Package opmetrics folds stage-capture trace events back into flat
+// per-operation records: one Op per PUT or GET with absolute start/end
+// times for every pipeline stage, the simulation's version of the
+// paper's bus-analyzer PUT decomposition (Fig 3). The convention is the
+// audit-log DocumentMetrics one: every stage gets its own absolute
+// start/end pair, and zero means the stage was not measured — a loopback
+// PUT has no wire hops, a failed GET has no deliver, a world without
+// stage capture has nothing at all.
+package opmetrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"apenetsim/internal/sim"
+	"apenetsim/internal/trace"
+)
+
+// Op is the flat stage-timing record of one operation (PUT or GET),
+// keyed by the cluster-unique op key the core emits ("op" field of stage
+// events). All times are absolute sim.Time picoseconds; zero = the stage
+// was not measured. Stages that run once per packet (inject, wire, the
+// RX pipeline) are folded to their min start / max end across packets.
+type Op struct {
+	Key   uint64 `json:"key"`
+	Kind  string `json:"kind"` // "put" or "get"
+	Src   int    `json:"src"`
+	Dst   int    `json:"dst"`
+	Bytes int64  `json:"bytes"`
+
+	SubmitStart  sim.Time `json:"submit_start_ps"` // driver accepts the job
+	SubmitEnd    sim.Time `json:"submit_end_ps"`
+	TXQueueStart sim.Time `json:"txq_start_ps"` // TX-queue residency (backpressure included)
+	TXQueueEnd   sim.Time `json:"txq_end_ps"`
+	InjectStart  sim.Time `json:"inject_start_ps"` // waiting for the injection link
+	InjectEnd    sim.Time `json:"inject_end_ps"`
+	WireStart    sim.Time `json:"wire_start_ps"` // torus crossing (request leg for GETs)
+	WireEnd      sim.Time `json:"wire_end_ps"`
+	Hops         int      `json:"hops"` // wire hop-span count on the request leg
+
+	// GET-only: the responder pipeline (parse, BUF_LIST, translate,
+	// read-DMA programming) and the reply's crossing back (its TX queue,
+	// injection and wire hops folded together).
+	ServeStart     sim.Time `json:"serve_start_ps,omitempty"`
+	ServeEnd       sim.Time `json:"serve_end_ps,omitempty"`
+	ReplyWireStart sim.Time `json:"reply_wire_start_ps,omitempty"`
+	ReplyWireEnd   sim.Time `json:"reply_wire_end_ps,omitempty"`
+	ReplyHops      int      `json:"reply_hops,omitempty"`
+
+	RXValidateStart sim.Time `json:"rx_validate_start_ps"` // BUF_LIST search
+	RXValidateEnd   sim.Time `json:"rx_validate_end_ps"`
+	TranslateStart  sim.Time `json:"rx_translate_start_ps"` // V2P resolution
+	TranslateEnd    sim.Time `json:"rx_translate_end_ps"`
+	DMAStart        sim.Time `json:"rx_dma_start_ps"` // RX DMA programming + posted write
+	DMAEnd          sim.Time `json:"rx_dma_end_ps"`
+	DeliverStart    sim.Time `json:"deliver_start_ps"` // completion firmware -> CQ
+	DeliverEnd      sim.Time `json:"deliver_end_ps"`
+}
+
+// Total returns the operation's end-to-end span (submit start to deliver
+// end), or 0 when either endpoint was not measured.
+func (o *Op) Total() sim.Duration {
+	if o.SubmitStart == 0 && o.SubmitEnd == 0 {
+		return 0
+	}
+	if o.DeliverEnd == 0 {
+		return 0
+	}
+	return o.DeliverEnd.Sub(o.SubmitStart)
+}
+
+// getFamily is bit 63 of an op key, set on every GET-family key (see
+// core.getOpKey).
+const getFamily = uint64(1) << 63
+
+// Collect folds stage events (op-tagged spans: card "<name>.op" kinds
+// and "wire.<link>" hops) into per-op records, sorted by submit time
+// then key. Events without an op tag are ignored, so a full mixed trace
+// can be passed as-is.
+func Collect(events []trace.Event) []*Op {
+	ops := map[uint64]*Op{}
+	get := func(key uint64) *Op {
+		o, ok := ops[key]
+		if !ok {
+			kind := "put"
+			if key&getFamily != 0 {
+				kind = "get"
+			}
+			o = &Op{Key: key, Kind: kind, Src: -1, Dst: -1}
+			ops[key] = o
+		}
+		return o
+	}
+	for _, ev := range events {
+		if ev.Op == 0 {
+			continue
+		}
+		o := get(ev.Op)
+		t0, t1 := ev.T, ev.End()
+		switch {
+		case strings.HasPrefix(ev.Comp, "wire."):
+			if ev.Kind != "hop" {
+				continue
+			}
+			leg := noteField(ev.Note, "leg")
+			if o.Kind == "get" && (leg == "get_reply" || leg == "get_error") {
+				fold(&o.ReplyWireStart, &o.ReplyWireEnd, t0, t1)
+				o.ReplyHops++
+			} else {
+				fold(&o.WireStart, &o.WireEnd, t0, t1)
+				o.Hops++
+			}
+		case strings.HasSuffix(ev.Comp, ".op"):
+			switch ev.Kind {
+			case "submit":
+				fold(&o.SubmitStart, &o.SubmitEnd, t0, t1)
+				if o.Bytes == 0 {
+					o.Bytes = ev.Bytes
+				}
+				if v, ok := noteInt(ev.Note, "src"); ok {
+					o.Src = v
+				}
+				if v, ok := noteInt(ev.Note, "dst"); ok {
+					o.Dst = v
+				}
+			case "txq":
+				leg := noteField(ev.Note, "leg")
+				if o.Kind == "get" && (leg == "get_reply" || leg == "get_error") {
+					// The reply's queueing is part of the reply crossing.
+					fold(&o.ReplyWireStart, &o.ReplyWireEnd, t0, t1)
+				} else {
+					fold(&o.TXQueueStart, &o.TXQueueEnd, t0, t1)
+				}
+			case "inject":
+				fold(&o.InjectStart, &o.InjectEnd, t0, t1)
+			case "serve":
+				fold(&o.ServeStart, &o.ServeEnd, t0, t1)
+			case "rx_validate":
+				fold(&o.RXValidateStart, &o.RXValidateEnd, t0, t1)
+			case "rx_translate":
+				fold(&o.TranslateStart, &o.TranslateEnd, t0, t1)
+			case "rx_dma":
+				fold(&o.DMAStart, &o.DMAEnd, t0, t1)
+			case "deliver":
+				fold(&o.DeliverStart, &o.DeliverEnd, t0, t1)
+			}
+		}
+	}
+	out := make([]*Op, 0, len(ops))
+	for _, o := range ops {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SubmitStart != out[j].SubmitStart {
+			return out[i].SubmitStart < out[j].SubmitStart
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// fold widens a (start, end) pair to cover [t0, t1]; a zero pair adopts
+// it. Stage events at t=0 are indistinguishable from "not measured" —
+// acceptable, since every submit pays a driver cost before the pipeline
+// starts, so real stages never start at the epoch.
+func fold(start, end *sim.Time, t0, t1 sim.Time) {
+	if *start == 0 && *end == 0 {
+		*start, *end = t0, t1
+		return
+	}
+	if t0 < *start {
+		*start = t0
+	}
+	if t1 > *end {
+		*end = t1
+	}
+}
+
+// noteField extracts the value of a "key=value" token from a stage note.
+func noteField(note, key string) string {
+	for _, tok := range strings.Fields(note) {
+		if v, ok := strings.CutPrefix(tok, key+"="); ok {
+			return v
+		}
+	}
+	return ""
+}
+
+// noteInt extracts an integer "key=value" token from a stage note.
+func noteInt(note, key string) (int, bool) {
+	v := noteField(note, key)
+	if v == "" {
+		return 0, false
+	}
+	var n int
+	if _, err := fmt.Sscanf(v, "%d", &n); err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// stageDef names one stage and extracts its measured duration.
+type stageDef struct {
+	name string
+	dur  func(*Op) (sim.Duration, bool)
+}
+
+// span converts a (start, end) pair into a measured duration.
+func span(start, end sim.Time) (sim.Duration, bool) {
+	if start == 0 && end == 0 {
+		return 0, false
+	}
+	return end.Sub(start), true
+}
+
+// Stages enumerates the pipeline stages in order; Summarize and the CSV
+// writer follow it.
+var stages = []stageDef{
+	{"submit", func(o *Op) (sim.Duration, bool) { return span(o.SubmitStart, o.SubmitEnd) }},
+	{"txq", func(o *Op) (sim.Duration, bool) { return span(o.TXQueueStart, o.TXQueueEnd) }},
+	{"inject", func(o *Op) (sim.Duration, bool) { return span(o.InjectStart, o.InjectEnd) }},
+	{"wire", func(o *Op) (sim.Duration, bool) { return span(o.WireStart, o.WireEnd) }},
+	{"serve", func(o *Op) (sim.Duration, bool) { return span(o.ServeStart, o.ServeEnd) }},
+	{"reply_wire", func(o *Op) (sim.Duration, bool) { return span(o.ReplyWireStart, o.ReplyWireEnd) }},
+	{"rx_validate", func(o *Op) (sim.Duration, bool) { return span(o.RXValidateStart, o.RXValidateEnd) }},
+	{"rx_translate", func(o *Op) (sim.Duration, bool) { return span(o.TranslateStart, o.TranslateEnd) }},
+	{"rx_dma", func(o *Op) (sim.Duration, bool) { return span(o.DMAStart, o.DMAEnd) }},
+	{"deliver", func(o *Op) (sim.Duration, bool) { return span(o.DeliverStart, o.DeliverEnd) }},
+	{"total", func(o *Op) (sim.Duration, bool) { d := o.Total(); return d, d > 0 }},
+}
+
+// StageSummary is the percentile breakdown of one stage across a set of
+// ops; Count is how many ops measured the stage.
+type StageSummary struct {
+	Stage string       `json:"stage"`
+	Count int          `json:"count"`
+	P50   sim.Duration `json:"p50_ps"`
+	P90   sim.Duration `json:"p90_ps"`
+	Max   sim.Duration `json:"max_ps"`
+}
+
+// Summarize computes per-stage duration percentiles across ops, in
+// pipeline order, skipping stages no op measured. Percentiles use the
+// nearest-rank method on the sorted durations, so results are exact and
+// deterministic.
+func Summarize(ops []*Op) []StageSummary {
+	var out []StageSummary
+	for _, st := range stages {
+		var ds []sim.Duration
+		for _, o := range ops {
+			if d, ok := st.dur(o); ok {
+				ds = append(ds, d)
+			}
+		}
+		if len(ds) == 0 {
+			continue
+		}
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		out = append(out, StageSummary{
+			Stage: st.name,
+			Count: len(ds),
+			P50:   ds[(len(ds)-1)*50/100],
+			P90:   ds[(len(ds)-1)*90/100],
+			Max:   ds[len(ds)-1],
+		})
+	}
+	return out
+}
+
+// WriteCSV renders ops as CSV, one row per op, times in picoseconds.
+func WriteCSV(w io.Writer, ops []*Op) error {
+	if _, err := fmt.Fprintln(w, "key,kind,src,dst,bytes,"+
+		"submit_start_ps,submit_end_ps,txq_start_ps,txq_end_ps,"+
+		"inject_start_ps,inject_end_ps,wire_start_ps,wire_end_ps,hops,"+
+		"serve_start_ps,serve_end_ps,reply_wire_start_ps,reply_wire_end_ps,reply_hops,"+
+		"rx_validate_start_ps,rx_validate_end_ps,rx_translate_start_ps,rx_translate_end_ps,"+
+		"rx_dma_start_ps,rx_dma_end_ps,deliver_start_ps,deliver_end_ps,total_ps"); err != nil {
+		return err
+	}
+	for _, o := range ops {
+		if _, err := fmt.Fprintf(w, "%d,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+			o.Key, o.Kind, o.Src, o.Dst, o.Bytes,
+			int64(o.SubmitStart), int64(o.SubmitEnd), int64(o.TXQueueStart), int64(o.TXQueueEnd),
+			int64(o.InjectStart), int64(o.InjectEnd), int64(o.WireStart), int64(o.WireEnd), o.Hops,
+			int64(o.ServeStart), int64(o.ServeEnd), int64(o.ReplyWireStart), int64(o.ReplyWireEnd), o.ReplyHops,
+			int64(o.RXValidateStart), int64(o.RXValidateEnd), int64(o.TranslateStart), int64(o.TranslateEnd),
+			int64(o.DMAStart), int64(o.DMAEnd), int64(o.DeliverStart), int64(o.DeliverEnd), int64(o.Total())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders ops as an indented JSON array.
+func WriteJSON(w io.Writer, ops []*Op) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if ops == nil {
+		ops = []*Op{}
+	}
+	return enc.Encode(ops)
+}

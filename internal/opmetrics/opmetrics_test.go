@@ -1,0 +1,166 @@
+package opmetrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"apenetsim/internal/sim"
+	"apenetsim/internal/trace"
+)
+
+// ev builds one op-tagged span event.
+func ev(t0, t1 sim.Time, comp, kind string, op uint64, bytes int64, note string) trace.Event {
+	return trace.Event{T: t0, Dur: t1.Sub(t0), Comp: comp, Kind: kind, Op: op, Bytes: bytes, Note: note}
+}
+
+const getKey = 1<<63 | 7<<16 | 0 // GET family, reqID 7, requester 0
+
+// fixture is one complete PUT (key 42, two wire hops) and one complete
+// GET (request + responder serve + reply leg), interleaved with untagged
+// noise events that Collect must ignore.
+func fixture() []trace.Event {
+	return []trace.Event{
+		{T: 500, Comp: "node0.apenet", Kind: "write", Bytes: 128}, // untagged: ignored
+		// PUT key=42, rank 0 -> 3.
+		ev(1000, 2000, "ape0.op", "submit", 42, 4096, "kind=put src=0 dst=3"),
+		ev(2000, 3000, "ape0.op", "txq", 42, 4096, "leg=put"),
+		ev(3000, 3500, "ape0.op", "inject", 42, 4096, "seq=0"),
+		ev(3500, 4000, "wire.(0,0,0)X+", "hop", 42, 4096, "leg=put seq=0 from=0 to=1"),
+		ev(4000, 4500, "wire.(1,0,0)X+", "hop", 42, 4096, "leg=put seq=0 from=1 to=3"),
+		ev(4500, 4600, "ape3.op", "rx_validate", 42, 4096, "seq=0 scanned=1"),
+		ev(4600, 4700, "ape3.op", "rx_translate", 42, 4096, "seq=0"),
+		ev(4700, 4800, "ape3.op", "rx_dma", 42, 4096, "seq=0"),
+		ev(4900, 5000, "ape3.op", "deliver", 42, 4096, "src=0"),
+		// GET, rank 0 pulling from rank 1: request leg, serve, reply leg.
+		ev(6000, 6500, "ape0.op", "submit", getKey, 8192, "kind=get_request src=0 dst=1"),
+		ev(6500, 6600, "ape0.op", "txq", getKey, 64, "leg=get_request"),
+		ev(6600, 6700, "ape0.op", "inject", getKey, 64, "seq=0"),
+		ev(6700, 6800, "wire.(0,0,0)X+", "hop", getKey, 64, "leg=get_request seq=0 from=0 to=1"),
+		ev(6800, 7000, "ape1.op", "serve", getKey, 8192, "responder=1"),
+		ev(7000, 7100, "ape1.op", "txq", getKey, 8192, "leg=get_reply"),
+		ev(7100, 7300, "wire.(1,0,0)X-", "hop", getKey, 8192, "leg=get_reply seq=0 from=1 to=0"),
+		ev(7300, 7400, "ape0.op", "rx_validate", getKey, 8192, "seq=0 scanned=1"),
+		ev(7400, 7500, "ape0.op", "rx_translate", getKey, 8192, "seq=0"),
+		ev(7500, 7600, "ape0.op", "rx_dma", getKey, 8192, "seq=0"),
+		ev(7700, 8000, "ape0.op", "deliver", getKey, 8192, "src=1"),
+	}
+}
+
+func TestCollectFoldsPutAndGet(t *testing.T) {
+	ops := Collect(fixture())
+	if len(ops) != 2 {
+		t.Fatalf("Collect = %d ops, want 2", len(ops))
+	}
+	put, get := ops[0], ops[1] // sorted by submit time
+	if put.Key != 42 || put.Kind != "put" || put.Src != 0 || put.Dst != 3 || put.Bytes != 4096 {
+		t.Fatalf("put identity = %+v", put)
+	}
+	if put.Hops != 2 || put.WireStart != 3500 || put.WireEnd != 4500 {
+		t.Fatalf("put wire fold = hops %d [%d, %d]", put.Hops, put.WireStart, put.WireEnd)
+	}
+	if put.Total() != 4000 {
+		t.Fatalf("put total = %v, want 4000", put.Total())
+	}
+	if put.ServeStart != 0 || put.ReplyHops != 0 {
+		t.Fatalf("put grew GET-only stages: %+v", put)
+	}
+
+	if get.Kind != "get" || get.Key != getKey {
+		t.Fatalf("get identity = %+v", get)
+	}
+	// The reply's TX queueing and wire hop fold into one reply_wire span.
+	if get.ReplyWireStart != 7000 || get.ReplyWireEnd != 7300 || get.ReplyHops != 1 {
+		t.Fatalf("reply fold = [%d, %d] hops %d", get.ReplyWireStart, get.ReplyWireEnd, get.ReplyHops)
+	}
+	if get.Hops != 1 || get.WireStart != 6700 {
+		t.Fatalf("request leg = hops %d start %d", get.Hops, get.WireStart)
+	}
+	if get.ServeStart != 6800 || get.ServeEnd != 7000 {
+		t.Fatalf("serve = [%d, %d]", get.ServeStart, get.ServeEnd)
+	}
+	if get.Total() != 2000 {
+		t.Fatalf("get total = %v, want 2000", get.Total())
+	}
+}
+
+func TestZeroMeansUnmeasured(t *testing.T) {
+	// An op that never delivered has Total 0, and Summarize skips it from
+	// the total row while still counting its measured stages.
+	ops := Collect([]trace.Event{
+		ev(1000, 2000, "ape0.op", "submit", 9, 64, "kind=put src=0 dst=1"),
+		ev(2000, 2500, "ape0.op", "txq", 9, 64, "leg=put"),
+	})
+	if len(ops) != 1 || ops[0].Total() != 0 {
+		t.Fatalf("lost op total = %+v", ops)
+	}
+	sums := Summarize(ops)
+	names := map[string]int{}
+	for _, s := range sums {
+		names[s.Stage] = s.Count
+	}
+	if names["submit"] != 1 || names["txq"] != 1 {
+		t.Fatalf("measured stages miscounted: %v", names)
+	}
+	if _, ok := names["total"]; ok {
+		t.Fatal("unmeasured total still summarized")
+	}
+	if _, ok := names["wire"]; ok {
+		t.Fatal("unmeasured wire still summarized")
+	}
+	if len(Summarize(nil)) != 0 {
+		t.Fatal("Summarize(nil) not empty")
+	}
+}
+
+func TestSummarizePercentilesAreNearestRank(t *testing.T) {
+	// Three submits of 10, 20, 90 us: nearest-rank p50 on a sorted
+	// 3-sample set picks index (3-1)*50/100 = 1, p90 index 1, max index 2.
+	var evs []trace.Event
+	for i, d := range []sim.Duration{10 * sim.Microsecond, 90 * sim.Microsecond, 20 * sim.Microsecond} {
+		t0 := sim.Time(1000 * (i + 1))
+		evs = append(evs, ev(t0, t0.Add(d), "ape0.op", "submit", uint64(i+1), 64, "kind=put src=0 dst=1"))
+	}
+	sums := Summarize(Collect(evs))
+	if len(sums) != 1 || sums[0].Stage != "submit" || sums[0].Count != 3 {
+		t.Fatalf("summary = %+v", sums)
+	}
+	if sums[0].P50 != 20*sim.Microsecond || sums[0].P90 != 20*sim.Microsecond || sums[0].Max != 90*sim.Microsecond {
+		t.Fatalf("percentiles = p50 %v p90 %v max %v", sums[0].P50, sums[0].P90, sums[0].Max)
+	}
+}
+
+func TestWriters(t *testing.T) {
+	ops := Collect(fixture())
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ops); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want header + 2 ops", len(lines))
+	}
+	if cols := strings.Count(lines[0], ",") + 1; cols != strings.Count(lines[1], ",")+1 {
+		t.Fatalf("CSV header has %d columns, row has %d", cols, strings.Count(lines[1], ",")+1)
+	}
+	if !strings.HasPrefix(lines[0], "key,kind,src,dst,bytes,") {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+
+	buf.Reset()
+	if err := WriteJSON(&buf, ops); err != nil {
+		t.Fatal(err)
+	}
+	var back []Op
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("JSON invalid: %v", err)
+	}
+	if len(back) != 2 || back[0].Key != 42 {
+		t.Fatalf("JSON round trip = %+v", back)
+	}
+	buf.Reset()
+	if err := WriteJSON(&buf, nil); err != nil || strings.TrimSpace(buf.String()) != "[]" {
+		t.Fatalf("nil ops JSON = %q, %v", buf.String(), err)
+	}
+}

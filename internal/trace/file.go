@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"apenetsim/internal/sim"
+)
+
+// FileSchemaVersion identifies the shared trace-capture JSON shape
+// written by apebench -trace-out and pciescope -json and read by
+// apetrace. Documented in docs/REPORTS.md.
+const FileSchemaVersion = 1
+
+// File is a saved trace capture: the events of one Recorder plus enough
+// provenance (producing tool, label, torus dims, final link stats) for a
+// later tool to render it without the world that produced it. One schema
+// serves every trace-emitting command.
+type File struct {
+	SchemaVersion int        `json:"schema_version"`
+	Source        string     `json:"source,omitempty"` // producing command, e.g. "apebench", "pciescope"
+	Label         string     `json:"label,omitempty"`  // experiment ID or free-form scenario name
+	Dims          string     `json:"dims,omitempty"`   // torus dims ("4x2x2") when the capture has one
+	Links         []LinkInfo `json:"links,omitempty"`  // final per-link counters, if snapshotted
+	Events        []Event    `json:"events"`
+}
+
+// LinkInfo is a per-directed-link counter snapshot taken at the end of a
+// capture (a flattened core.LinkStat; trace cannot import core).
+type LinkInfo struct {
+	Link      string       `json:"link"` // "(x,y,z)D" directed link name
+	Packets   int64        `json:"packets"`
+	WireBytes int64        `json:"wire_bytes"`
+	Busy      sim.Duration `json:"busy_ps"`
+}
+
+// NewFile wraps a recorder's events in the shared capture schema.
+func NewFile(source, label string, r *Recorder) *File {
+	evs := r.Events()
+	if evs == nil {
+		evs = []Event{}
+	}
+	return &File{SchemaVersion: FileSchemaVersion, Source: source, Label: label, Events: evs}
+}
+
+// Write writes the capture as indented JSON.
+func (f *File) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// Save writes the capture to a file.
+func (f *File) Save(path string) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f.Write(out); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// ReadFile parses a saved capture. Bare event arrays — the shape
+// Recorder.WriteJSON emits and pciescope -json used before the schema was
+// unified — are accepted and wrapped in an empty-provenance File.
+func ReadFile(r io.Reader) (*File, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err == nil && f.SchemaVersion != 0 {
+		if f.SchemaVersion != FileSchemaVersion {
+			return nil, fmt.Errorf("trace: unsupported schema_version %d (want %d)", f.SchemaVersion, FileSchemaVersion)
+		}
+		if f.Events == nil {
+			f.Events = []Event{}
+		}
+		return &f, nil
+	}
+	var evs []Event
+	if err := json.Unmarshal(raw, &evs); err != nil {
+		return nil, fmt.Errorf("trace: not a trace capture or event array: %w", err)
+	}
+	return &File{SchemaVersion: FileSchemaVersion, Events: evs}, nil
+}
+
+// LoadFile reads a saved capture from disk.
+func LoadFile(path string) (*File, error) {
+	in, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer in.Close()
+	return ReadFile(in)
+}

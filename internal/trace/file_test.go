@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFileRoundTrip(t *testing.T) {
+	r := New()
+	r.SetStages(true)
+	r.Emit(10, "pcie.apenet0", "read_req", 128, "q")
+	r.EmitOp(20, 30, "ape0.op", "submit", 42, 4096, "kind=put src=0 dst=1")
+
+	f := NewFile("pciescope", "p2p-v2-64K", r)
+	f.Dims = "4x2x2"
+	f.Links = []LinkInfo{{Link: "(0,0,0)X+", Packets: 3, WireBytes: 12288, Busy: 99}}
+
+	var buf bytes.Buffer
+	if err := f.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Source != "pciescope" || got.Label != "p2p-v2-64K" || got.Dims != "4x2x2" {
+		t.Fatalf("provenance lost: %+v", got)
+	}
+	if len(got.Links) != 1 || got.Links[0].Packets != 3 || got.Links[0].Busy != 99 {
+		t.Fatalf("links lost: %+v", got.Links)
+	}
+	if len(got.Events) != 2 || got.Events[1].Op != 42 || got.Events[1].Dur != 10 {
+		t.Fatalf("events lost: %+v", got.Events)
+	}
+}
+
+func TestReadFileAcceptsBareEventArrays(t *testing.T) {
+	// The shape Recorder.WriteJSON emits, and what pciescope -json wrote
+	// before the schema was unified: still readable, wrapped with empty
+	// provenance.
+	r := New()
+	r.Emit(10, "node0.apenet", "write", 128, "")
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFile(&buf)
+	if err != nil {
+		t.Fatalf("bare array rejected: %v", err)
+	}
+	if f.SchemaVersion != FileSchemaVersion || f.Source != "" || len(f.Events) != 1 {
+		t.Fatalf("wrapped file = %+v", f)
+	}
+}
+
+func TestReadFileRejectsGarbageAndFutureSchemas(t *testing.T) {
+	if _, err := ReadFile(strings.NewReader(`{"schema_version": 99, "events": []}`)); err == nil {
+		t.Fatal("future schema version accepted")
+	}
+	if _, err := ReadFile(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestFileSaveLoad(t *testing.T) {
+	r := New()
+	r.Emit(10, "a", "b", 1, "")
+	f := NewFile("test", "roundtrip", r)
+	path := filepath.Join(t.TempDir(), "cap.json")
+	if err := f.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Label != "roundtrip" || len(got.Events) != 1 {
+		t.Fatalf("loaded = %+v", got)
+	}
+	// Empty recorders still produce a well-formed file with an empty
+	// (never null) events array.
+	if empty := NewFile("test", "", New()); empty.Events == nil {
+		t.Fatal("NewFile left Events nil")
+	}
+}

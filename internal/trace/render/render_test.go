@@ -1,0 +1,166 @@
+package render
+
+import (
+	"bytes"
+	"encoding/xml"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"apenetsim/internal/sim"
+	"apenetsim/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden render fixtures")
+
+// ev builds one capture event.
+func ev(t0, t1 sim.Time, comp, kind string, op uint64, bytes int64, note string) trace.Event {
+	return trace.Event{T: t0, Dur: t1.Sub(t0), Comp: comp, Kind: kind, Op: op, Bytes: bytes, Note: note}
+}
+
+// fixture is a tiny 2x2x1 capture: one minimal-staircase PUT, one
+// fault-detoured PUT (dev=1/fault=1 flags, same hop count — the
+// wraparound case hop counting cannot see), and a link_stats snapshot.
+func fixture() *trace.File {
+	return &trace.File{
+		SchemaVersion: trace.FileSchemaVersion,
+		Source:        "test",
+		Label:         "fixture",
+		Events: []trace.Event{
+			{T: 0, Comp: "coll", Kind: "world", Bytes: 4, Note: "2x2x1"},
+			ev(1000, 2000, "ape0.op", "submit", 1, 4096, "kind=put src=0 dst=3"),
+			ev(2000, 3000, "ape0.op", "txq", 1, 4096, "leg=put"),
+			ev(3000, 4000, "wire.(0,0,0)X+", "hop", 1, 4096, "leg=put seq=0 from=0 to=1"),
+			ev(4000, 5000, "wire.(1,0,0)Y+", "hop", 1, 4096, "leg=put seq=0 from=1 to=3"),
+			ev(5000, 5500, "ape3.op", "deliver", 1, 4096, "src=0"),
+			// Detour flagged by the router, not by hop count.
+			ev(6000, 7000, "wire.(0,0,0)Y+", "hop", 2, 4096, "leg=put seq=0 from=0 to=2 dev=1 fault=1"),
+			ev(7000, 8000, "wire.(0,1,0)X+", "hop", 2, 4096, "leg=put seq=0 from=2 to=3"),
+			{T: 9000, Comp: "torus.(0,0,0)X+", Kind: "link_stats", Bytes: 4096, Note: "packets=1 util=12.5% peak_backlog=0s"},
+		},
+	}
+}
+
+// wellFormedSVGs XML-parses every <svg>...</svg> block in page.
+func wellFormedSVGs(t *testing.T, page []byte) int {
+	t.Helper()
+	n := 0
+	rest := page
+	for {
+		i := bytes.Index(rest, []byte("<svg"))
+		if i < 0 {
+			break
+		}
+		j := bytes.Index(rest[i:], []byte("</svg>"))
+		if j < 0 {
+			t.Fatal("unterminated <svg> block")
+		}
+		doc := rest[i : i+j+len("</svg>")]
+		dec := xml.NewDecoder(bytes.NewReader(doc))
+		for {
+			_, err := dec.Token()
+			if err != nil {
+				if err.Error() == "EOF" {
+					break
+				}
+				t.Fatalf("SVG %d is not well-formed XML: %v\n%s", n, err, doc)
+			}
+		}
+		n++
+		rest = rest[i+j:]
+	}
+	return n
+}
+
+func TestPageMatchesGolden(t *testing.T) {
+	got := Page(fixture())
+	golden := filepath.Join("testdata", "fixture.html")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/trace/render -update` to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("render drifted from golden %s (re-run with -update if intentional); got %d bytes, want %d",
+			golden, len(got), len(want))
+	}
+}
+
+func TestRenderIsByteStable(t *testing.T) {
+	f := fixture()
+	if !bytes.Equal(Page(f), Page(f)) {
+		t.Fatal("two renders of the same capture differ")
+	}
+	if !bytes.Equal(TimelineSVG(f), TimelineSVG(f)) || !bytes.Equal(SpaceTimeSVG(f), SpaceTimeSVG(f)) {
+		t.Fatal("SVG renders are not deterministic")
+	}
+}
+
+func TestSVGsAreWellFormedXML(t *testing.T) {
+	if n := wellFormedSVGs(t, Page(fixture())); n != 2 {
+		t.Fatalf("page embeds %d SVGs, want timeline + space-time", n)
+	}
+	// Both standalone renderers emit a single well-formed document even
+	// for an empty capture.
+	empty := &trace.File{SchemaVersion: trace.FileSchemaVersion}
+	if n := wellFormedSVGs(t, TimelineSVG(empty)); n != 1 {
+		t.Fatalf("empty timeline = %d SVGs", n)
+	}
+	if n := wellFormedSVGs(t, SpaceTimeSVG(empty)); n != 1 {
+		t.Fatalf("empty space-time = %d SVGs", n)
+	}
+}
+
+func TestDetourDetection(t *testing.T) {
+	c := parse(fixture())
+	trs := c.tracks()
+	if len(trs) != 2 {
+		t.Fatalf("tracks = %d, want 2", len(trs))
+	}
+	if trs[0].detour {
+		t.Fatal("minimal staircase track marked as detour")
+	}
+	if !trs[1].detour {
+		t.Fatal("router-flagged detour not marked (dev=1 ignored)")
+	}
+	svg := string(SpaceTimeSVG(fixture()))
+	if !strings.Contains(svg, "stroke-dasharray") || !strings.Contains(svg, "1 detoured") {
+		t.Fatalf("detour not drawn dashed/legended:\n%s", svg)
+	}
+
+	// Hop-count detours are still caught without router flags: 2 hops on
+	// a 1-hop path.
+	long := &trace.File{SchemaVersion: trace.FileSchemaVersion, Dims: "4x2x2", Events: []trace.Event{
+		ev(1000, 2000, "wire.(0,0,0)Y+", "hop", 3, 64, "leg=put seq=0 from=0 to=4"),
+		ev(2000, 3000, "wire.(0,1,0)Y-", "hop", 3, 64, "leg=put seq=0 from=4 to=0"),
+		ev(3000, 4000, "wire.(0,0,0)X+", "hop", 3, 64, "leg=put seq=0 from=0 to=1"),
+	}}
+	lc := parse(long)
+	ltr := lc.tracks()
+	if len(ltr) != 1 || !ltr[0].detour {
+		t.Fatalf("hop-count detour missed: %+v", ltr)
+	}
+}
+
+func TestTracksSplitOnDiscontinuity(t *testing.T) {
+	// Two sub-worlds re-using (op, seq, leg) keys: the second packet
+	// starts at a rank the first never reached and earlier in time, so it
+	// must become its own polyline instead of a zig-zag artifact.
+	f := &trace.File{SchemaVersion: trace.FileSchemaVersion, Events: []trace.Event{
+		ev(5000, 6000, "wire.(0,0,0)X+", "hop", 1, 64, "leg=put seq=0 from=0 to=1"),
+		ev(1000, 2000, "wire.(2,0,0)X+", "hop", 1, 64, "leg=put seq=0 from=2 to=3"),
+	}}
+	trs := parse(f).tracks()
+	if len(trs) != 2 {
+		t.Fatalf("overlaid sub-world hops folded into %d tracks, want 2", len(trs))
+	}
+}

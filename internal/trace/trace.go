@@ -13,20 +13,29 @@ import (
 	"apenetsim/internal/sim"
 )
 
-// Event is one recorded occurrence.
+// Event is one recorded occurrence. Point events carry only T; span
+// events (EmitSpan, EmitOp) additionally carry Dur, and stage events
+// carry Op, the cluster-unique operation key they belong to. Both extra
+// fields are additive to the schema-1 JSON shape and omitted when zero.
 type Event struct {
-	T     sim.Time `json:"t_ps"`
-	Comp  string   `json:"comp"`            // emitting component, e.g. "pcie.apenet0", "gpu0.p2p"
-	Kind  string   `json:"kind"`            // event kind, e.g. "read_req", "data", "mailbox_write"
-	Bytes int64    `json:"bytes,omitempty"` // payload size if applicable
-	Note  string   `json:"note,omitempty"`
+	T     sim.Time     `json:"t_ps"`
+	Comp  string       `json:"comp"`            // emitting component, e.g. "pcie.apenet0", "gpu0.p2p"
+	Kind  string       `json:"kind"`            // event kind, e.g. "read_req", "data", "mailbox_write"
+	Bytes int64        `json:"bytes,omitempty"` // payload size if applicable
+	Note  string       `json:"note,omitempty"`
+	Dur   sim.Duration `json:"dur_ps,omitempty"` // span length; 0 = point event
+	Op    uint64       `json:"op,omitempty"`     // owning operation key; 0 = none
 }
+
+// End returns the end of a span event (T for point events).
+func (ev Event) End() sim.Time { return ev.T.Add(ev.Dur) }
 
 // Recorder collects events. A nil *Recorder is valid and records nothing,
 // so model components can trace unconditionally.
 type Recorder struct {
 	events  []Event
 	enabled bool
+	stages  bool
 }
 
 // New returns an enabled recorder.
@@ -38,6 +47,48 @@ func (r *Recorder) Emit(t sim.Time, comp, kind string, bytes int64, note string)
 		return
 	}
 	r.events = append(r.events, Event{T: t, Comp: comp, Kind: kind, Bytes: bytes, Note: note})
+}
+
+// EmitSpan records one event covering [t0, t1] instead of two correlated
+// point emits. A t1 before t0 is clamped to a zero-length span. Safe on a
+// nil or disabled recorder.
+func (r *Recorder) EmitSpan(t0, t1 sim.Time, comp, kind string, bytes int64, note string) {
+	if r == nil || !r.enabled {
+		return
+	}
+	dur := t1.Sub(t0)
+	if dur < 0 {
+		dur = 0
+	}
+	r.events = append(r.events, Event{T: t0, Comp: comp, Kind: kind, Bytes: bytes, Note: note, Dur: dur})
+}
+
+// EmitOp records a span event tagged with the operation key it belongs
+// to; internal/opmetrics folds these into per-operation stage records.
+// Safe on a nil or disabled recorder.
+func (r *Recorder) EmitOp(t0, t1 sim.Time, comp, kind string, op uint64, bytes int64, note string) {
+	if r == nil || !r.enabled {
+		return
+	}
+	dur := t1.Sub(t0)
+	if dur < 0 {
+		dur = 0
+	}
+	r.events = append(r.events, Event{T: t0, Comp: comp, Kind: kind, Bytes: bytes, Note: note, Dur: dur, Op: op})
+}
+
+// Stages reports whether stage-level instrumentation (per-op pipeline
+// spans in core, nios task spans) should be emitted to this recorder.
+// Off by default so pre-existing recorders — and every committed baseline
+// that counts their events — see an unchanged event stream; apebench
+// -trace-out and the op-breakdown experiment turn it on. Safe on nil.
+func (r *Recorder) Stages() bool { return r != nil && r.enabled && r.stages }
+
+// SetStages toggles stage-level capture.
+func (r *Recorder) SetStages(v bool) {
+	if r != nil {
+		r.stages = v
+	}
 }
 
 // Enabled reports whether the recorder captures events.
@@ -162,8 +213,14 @@ type Summary struct {
 // Summarize groups recorded events by (component, kind), sorted by
 // component then kind.
 func (r *Recorder) Summarize() []Summary {
+	return SummarizeEvents(r.Events())
+}
+
+// SummarizeEvents is Summarize for an event slice that no longer has a
+// recorder — a loaded capture file, a filtered view.
+func SummarizeEvents(evs []Event) []Summary {
 	agg := map[[2]string]*Summary{}
-	for _, ev := range r.Events() {
+	for _, ev := range evs {
 		k := [2]string{ev.Comp, ev.Kind}
 		s, ok := agg[k]
 		if !ok {

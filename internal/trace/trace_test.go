@@ -98,6 +98,87 @@ func TestSetEnabledAndReset(t *testing.T) {
 	}
 }
 
+func TestFilterEdgeCases(t *testing.T) {
+	r := New()
+	r.Emit(1, "pcie.apenet0", "read_req", 128, "")
+	r.Emit(2, "pcie.gpu0", "write", 64, "")
+	if got := r.Filter("", ""); len(got) != 2 {
+		t.Fatalf("empty prefixes matched %d events, want all 2", len(got))
+	}
+	if got := r.Filter("", "read"); len(got) != 1 {
+		t.Fatalf("kind-only prefix matched %d events, want 1", len(got))
+	}
+	if got := r.Filter("pcie.apenet0x", ""); len(got) != 0 {
+		t.Fatalf("over-long prefix matched %d events, want 0", len(got))
+	}
+	if got := SummarizeEvents(nil); len(got) != 0 {
+		t.Fatalf("SummarizeEvents(nil) = %d summaries", len(got))
+	}
+}
+
+func TestEmitSpanAndStages(t *testing.T) {
+	// Stage-capture mode is opt-in on top of enabled: a plain recorder
+	// reports Stages() false, so instrumentation gated on it emits
+	// nothing and pre-existing event streams stay bit-identical.
+	r := New()
+	if r.Stages() {
+		t.Fatal("fresh recorder claims stage capture")
+	}
+	r.SetStages(true)
+	if !r.Stages() {
+		t.Fatal("SetStages(true) did not take")
+	}
+	r.SetEnabled(false)
+	if r.Stages() {
+		t.Fatal("disabled recorder claims stage capture")
+	}
+	var nilRec *Recorder
+	if nilRec.Stages() {
+		t.Fatal("nil recorder claims stage capture")
+	}
+	nilRec.EmitSpan(0, 1, "a", "b", 0, "") // must not panic
+
+	r.SetEnabled(true)
+	r.EmitSpan(sim.Time(2*sim.Microsecond), sim.Time(5*sim.Microsecond), "nios0", "task", 0, "tx")
+	ev := r.Events()[0]
+	if ev.T != sim.Time(2*sim.Microsecond) || ev.Dur != 3*sim.Microsecond {
+		t.Fatalf("span event = %+v", ev)
+	}
+	if ev.End() != sim.Time(5*sim.Microsecond) {
+		t.Fatalf("End() = %v", ev.End())
+	}
+	// A reversed span clamps to zero duration instead of going negative.
+	r.EmitSpan(10, 5, "nios0", "task", 0, "backwards")
+	if ev := r.Events()[1]; ev.Dur != 0 || ev.End() != ev.T {
+		t.Fatalf("reversed span = %+v", ev)
+	}
+	r.EmitOp(1, 2, "ape0.op", "submit", 42, 128, "kind=put")
+	if ev := r.Events()[2]; ev.Op != 42 {
+		t.Fatalf("op event = %+v", ev)
+	}
+}
+
+func TestSpanJSONFieldsAreAdditive(t *testing.T) {
+	// dur_ps and op are omitempty: point events serialize exactly as
+	// before the span extension, so older readers see an unchanged shape.
+	point, err := json.Marshal(Event{T: 10, Comp: "a", Kind: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"dur_ps", `"op"`} {
+		if strings.Contains(string(point), field) {
+			t.Fatalf("point event JSON leaks %s: %s", field, point)
+		}
+	}
+	span, err := json.Marshal(Event{T: 10, Dur: 5, Op: 7, Comp: "a", Kind: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(span), `"dur_ps":5`) || !strings.Contains(string(span), `"op":7`) {
+		t.Fatalf("span event JSON misses fields: %s", span)
+	}
+}
+
 func TestWriteJSON(t *testing.T) {
 	r := New()
 	r.Emit(10, "pcie.apenet0", "read_req", 128, "q")
