@@ -21,7 +21,8 @@
 //	apebench -run coll-a2a -router adaptive -hotlinks 3
 //	apebench -run coll-scaling,scale-sweep -scale  # 16^3/32^3 LQCD-scale rows
 //	apebench -run scale-sweep -dims 16,16,16 -shards 4  # 4 parallel engines, bit-identical results
-//	apebench -run route-degraded -trace-out traces/  # stage traces + rendered HTML per experiment
+//	apebench -run route-degraded -trace-out traces/  # stage traces + telemetry + rendered HTML per experiment
+//	apebench -run coll-allreduce -shards 4 -trace-out traces/  # sharded capture, canonically merged
 //	apebench -all -quick -parallel 4 -json out.json
 //	apebench -all -quick -baseline BENCH_2026-07-27.json -tolerance 1
 //	apebench -all -quick -json auto   # writes BENCH_<date>.json
@@ -147,7 +148,7 @@ func main() {
 	scale := flag.Bool("scale", false, "include the LQCD-scale 16^3/32^3 rows in size-sweeping experiments (minutes of wall time)")
 	shards := flag.Int("shards", 1, "run the collective-world experiments across N parallel per-slab engines (1 = serial; results are bit-identical across shard counts N >= 2, and recorded+gated on baseline compares)")
 	hotlinks := flag.Int("hotlinks", 0, "print the top-N congested links after each coll-*/route-* experiment")
-	traceOut := flag.String("trace-out", "", "write per-experiment stage traces (shared trace JSON schema) and rendered HTML pages to this directory; forces the collective worlds serial")
+	traceOut := flag.String("trace-out", "", "write per-experiment stage traces with sampled telemetry series (shared trace JSON schema) and rendered HTML pages to this directory; composes with -shards via per-shard capture buffers")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile covering the experiment runs to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile (after the runs, post-GC) to this file")
 	flag.Parse()
@@ -156,13 +157,6 @@ func main() {
 		fmt.Fprintf(os.Stderr, "apebench: -shards %d: want at least 1 (the serial engine)\n", *shards)
 		os.Exit(2)
 	}
-	if *traceOut != "" && *shards > 1 {
-		// Tracing needs a globally ordered event stream, which only the
-		// serial engine produces; coll.NewWorld falls back on its own, but
-		// say so loudly up front rather than silently ignoring the flag.
-		fmt.Fprintf(os.Stderr, "apebench: NOTE: tracing forces serial: -trace-out makes the collective worlds run on the serial engine, so -shards %d is ignored for them (results stay bit-identical; only wall clock changes)\n", *shards)
-	}
-
 	if *list {
 		listExperiments(*group)
 		return
@@ -256,9 +250,18 @@ func main() {
 			fmt.Print(res.Report.CSV())
 		} else {
 			fmt.Print(res.Report.Render())
-			fmt.Printf("(%s in %.1fs, %d engines, %d sim steps, %s steps/s, peak %d pending)\n\n",
+			occupancy := ""
+			if res.ShardRounds > 0 {
+				// Sharded runs: mean busy shards per round of the windowed
+				// protocol, the direct measure of how well the slab cut fed
+				// the parallel engines.
+				occupancy = fmt.Sprintf(", shard occupancy %.2f busy/round (%d busy in %d rounds)",
+					float64(res.ShardBusyRounds)/float64(res.ShardRounds),
+					res.ShardBusyRounds, res.ShardRounds)
+			}
+			fmt.Printf("(%s in %.1fs, %d engines, %d sim steps, %s steps/s, peak %d pending%s)\n\n",
 				res.ID, res.WallSeconds, res.SimEngines, res.SimSteps,
-				fmtRate(res.StepsPerSec), res.PeakPending)
+				fmtRate(res.StepsPerSec), res.PeakPending, occupancy)
 		}
 		if len(res.Report.HotLinks) > 0 {
 			// -hotlinks: congestion data without reading trace JSON. Keep

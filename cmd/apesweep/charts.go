@@ -1,0 +1,89 @@
+package main
+
+// Cross-cell charts: the sweep's per-cell runner metrics distilled into
+// byte-stable SVG line charts (render.LineChartSVG), one line per
+// experiment across the matrix cells in declared order. They answer the
+// sweep questions — how does a metric move along the dims/shards/router
+// axes — without opening every run artifact.
+
+import (
+	"apenetsim/internal/bench"
+	"apenetsim/internal/trace/render"
+)
+
+// sweepMetric is one cross-cell chart: a metric extracted per result.
+// ok=false skips the point (failed cells, serial cells for shard-only
+// metrics) instead of plotting a misleading zero.
+type sweepMetric struct {
+	title string
+	unit  string
+	value func(bench.Result) (v float64, ok bool)
+}
+
+var sweepMetrics = []sweepMetric{
+	{"wall clock by cell", "s", func(r bench.Result) (float64, bool) {
+		return r.WallSeconds, r.Err == ""
+	}},
+	{"sim steps by cell", "steps", func(r bench.Result) (float64, bool) {
+		return float64(r.SimSteps), r.Err == ""
+	}},
+	{"engine throughput by cell", "steps/s", func(r bench.Result) (float64, bool) {
+		return r.StepsPerSec, r.Err == ""
+	}},
+	{"shard occupancy by cell", "busy/round", func(r bench.Result) (float64, bool) {
+		if r.Err != "" || r.ShardRounds == 0 {
+			return 0, false // serial cells have no rounds; omit, don't zero
+		}
+		return float64(r.ShardBusyRounds) / float64(r.ShardRounds), true
+	}},
+}
+
+// sweepCharts renders one chart per metric: x is the cell's position in
+// the declared matrix (ticked with cell IDs), one series per experiment,
+// in the run's experiment order. Metrics no cell produced (e.g. shard
+// occupancy in an all-serial sweep) render no chart.
+func sweepCharts(cells []cell) [][]byte {
+	if len(cells) == 0 {
+		return nil
+	}
+	// Experiment order: first appearance across cells (all cells run the
+	// same selection, so in practice this is cell 0's order).
+	var expIDs []string
+	seen := map[string]bool{}
+	for _, cl := range cells {
+		for _, res := range cl.run.Results {
+			if !seen[res.ID] {
+				seen[res.ID] = true
+				expIDs = append(expIDs, res.ID)
+			}
+		}
+	}
+	ticks := make([]render.ChartTick, len(cells))
+	for i, cl := range cells {
+		ticks[i] = render.ChartTick{X: float64(i), Label: cl.id}
+	}
+	var out [][]byte
+	for _, m := range sweepMetrics {
+		var series []render.ChartSeries
+		for _, id := range expIDs {
+			s := render.ChartSeries{Label: id}
+			for i, cl := range cells {
+				res := cl.run.Result(id)
+				if res == nil {
+					continue
+				}
+				if v, ok := m.value(*res); ok {
+					s.Pts = append(s.Pts, render.ChartPoint{X: float64(i), Y: v})
+				}
+			}
+			if len(s.Pts) > 0 {
+				series = append(series, s)
+			}
+		}
+		if len(series) == 0 {
+			continue
+		}
+		out = append(out, render.LineChartSVG(m.title, m.unit, series, ticks))
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"encoding/xml"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"apenetsim/internal/bench"
+	"apenetsim/internal/route"
+	"apenetsim/internal/torus"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden chart fixtures")
+
+// fixtureCells is a 3-cell shards sweep (1, 2, 4) over two experiments
+// with hand-picked deterministic metrics: enough to exercise multi-series
+// charts, the shard-occupancy serial omission, and a failed result.
+func fixtureCells() []cell {
+	mk := func(id string, shards int, results []bench.Result) cell {
+		run := &bench.Run{SchemaVersion: bench.SchemaVersion, Results: results}
+		if shards > 1 {
+			run.Shards = shards
+		}
+		return cell{id: id, shards: shards, router: route.ModeDimensionOrder,
+			dims: torus.Dims{X: 4, Y: 4, Z: 2}, run: run, path: "run-" + id + ".json"}
+	}
+	return []cell{
+		mk("s1", 1, []bench.Result{
+			{ID: "coll-halo", WallSeconds: 4.0, SimSteps: 1000, StepsPerSec: 250},
+			{ID: "coll-allreduce", WallSeconds: 8.0, SimSteps: 3000, StepsPerSec: 375},
+		}),
+		mk("s2", 2, []bench.Result{
+			{ID: "coll-halo", WallSeconds: 2.5, SimSteps: 1000, StepsPerSec: 400,
+				ShardRounds: 100, ShardBusyRounds: 160},
+			{ID: "coll-allreduce", WallSeconds: 5.0, SimSteps: 3000, StepsPerSec: 600,
+				ShardRounds: 200, ShardBusyRounds: 390},
+		}),
+		mk("s4", 4, []bench.Result{
+			{ID: "coll-halo", WallSeconds: 1.5, SimSteps: 1000, StepsPerSec: 666,
+				ShardRounds: 120, ShardBusyRounds: 310},
+			{ID: "coll-allreduce", Err: "panic: boom"}, // failed: no points
+		}),
+	}
+}
+
+func TestSweepChartsMatchGolden(t *testing.T) {
+	var got bytes.Buffer
+	for _, ch := range sweepCharts(fixtureCells()) {
+		got.Write(ch)
+	}
+	golden := filepath.Join("testdata", "charts.svg")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/apesweep -update` to create it)", err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("charts drifted from golden %s (re-run with -update if intentional); got %d bytes, want %d",
+			golden, got.Len(), len(want))
+	}
+}
+
+func TestSweepCharts(t *testing.T) {
+	charts := sweepCharts(fixtureCells())
+	if len(charts) != 4 {
+		t.Fatalf("charts = %d, want wall + steps + throughput + occupancy", len(charts))
+	}
+	for i, ch := range charts {
+		dec := xml.NewDecoder(bytes.NewReader(ch))
+		for {
+			if _, err := dec.Token(); err != nil {
+				if err.Error() == "EOF" {
+					break
+				}
+				t.Fatalf("chart %d is not well-formed XML: %v", i, err)
+			}
+		}
+	}
+	occ := string(charts[3])
+	if !strings.Contains(occ, "shard occupancy") || !strings.Contains(occ, "busy/round") {
+		t.Fatalf("occupancy chart mislabeled:\n%s", occ)
+	}
+	// The serial cell contributes no occupancy point, and the failed s4
+	// allreduce contributes none anywhere — its line has a single point
+	// (the s2 cell), the halo line two.
+	if strings.Contains(occ, `"4.00"`) {
+		// x positions are 0,1,2 scaled into the plot; raw "4.00" would
+		// mean a phantom 4th cell.
+		t.Fatal("occupancy chart has points for cells that produced none")
+	}
+
+	// All serial: the occupancy chart disappears, the rest stay.
+	cells := fixtureCells()[:1]
+	if n := len(sweepCharts(cells)); n != 3 {
+		t.Fatalf("serial sweep charts = %d, want 3 (no occupancy)", n)
+	}
+	if sweepCharts(nil) != nil {
+		t.Fatal("empty sweep grew charts")
+	}
+}
+
+func TestIndexHTMLEmbedsCharts(t *testing.T) {
+	page := indexHTML(fixtureCells(), "coll-*", "")
+	s := string(page)
+	if !strings.Contains(s, "cross-cell charts") || strings.Count(s, "<svg") != 4 {
+		t.Fatalf("index.html embeds %d charts, want 4 under a cross-cell header", strings.Count(s, "<svg"))
+	}
+	if !strings.Contains(s, "wall clock by cell") {
+		t.Fatal("wall-clock chart missing from index.html")
+	}
+}

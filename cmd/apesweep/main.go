@@ -2,7 +2,9 @@
 // torus dims × shard counts × routers × TLB modes — through the same
 // bench.Runner/JSON pipeline as apebench, one run artifact per cell,
 // then re-loads those artifacts and distills them into a Markdown and a
-// CSV summary table plus a self-contained HTML index. Because the
+// CSV summary table plus a self-contained HTML index with cross-cell
+// metric charts (wall clock, sim steps, throughput, shard occupancy
+// against the cell axis). Because the
 // summary is built from the re-loaded JSONs, it provably matches the
 // per-cell artifacts. Cells whose flag tuple matches a -baseline run
 // are diffed against it; regressions make the command exit non-zero.
@@ -355,6 +357,12 @@ p.meta { color: #666; font-size: 11px; }
 		}
 	}
 	b.WriteString("</table>\n")
+	if charts := sweepCharts(cells); len(charts) > 0 {
+		b.WriteString("<h2>cross-cell charts</h2>\n")
+		for _, ch := range charts {
+			b.Write(ch)
+		}
+	}
 	for _, cl := range cells {
 		fmt.Fprintf(&b, "<h2>cell %s</h2>\n", html.EscapeString(cl.id))
 		if cl.diff != nil {

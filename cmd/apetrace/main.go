@@ -2,8 +2,9 @@
 // schema written by apebench -trace-out and pciescope -json; legacy bare
 // event arrays are accepted too) into self-contained HTML pages: a
 // per-link utilization timeline, a packet space-time diagram with
-// detoured packets highlighted, the per-op stage breakdown, and the
-// busiest-links table. See docs/OBSERVABILITY.md.
+// detoured packets highlighted, run telemetry charts (shard-occupancy
+// lanes and sampled series, when the capture carries them), the per-op
+// stage breakdown, and the busiest-links table. See docs/OBSERVABILITY.md.
 //
 // Usage:
 //
@@ -96,8 +97,18 @@ func printSummary(path string, f *trace.File) error {
 	if ops := opmetrics.Collect(f.Events); len(ops) > 0 {
 		fmt.Printf("stage breakdown (%d ops):\n", len(ops))
 		for _, s := range opmetrics.Summarize(ops) {
-			fmt.Printf("  %-14s %4d ops  p50 %-12s p90 %-12s max %s\n",
-				s.Stage, s.Count, s.P50, s.P90, s.Max)
+			fmt.Printf("  %-14s %4d ops  p50 %-12s p90 %-12s p99 %-12s max %s\n",
+				s.Stage, s.Count, s.P50, s.P90, s.P99, s.Max)
+		}
+	}
+	if len(f.Series) > 0 {
+		fmt.Printf("telemetry series (%d):\n", len(f.Series))
+		for _, s := range f.Series {
+			unit := s.Unit
+			if unit == "" {
+				unit = "-"
+			}
+			fmt.Printf("  %-20s %-6s %6d samples\n", s.Name, unit, len(s.Samples))
 		}
 	}
 	return nil

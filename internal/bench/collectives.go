@@ -41,6 +41,7 @@ func collWorld(o Options, dims torus.Dims) (*sim.Engine, *coll.World) {
 		SlotBytes: collSlot,
 		Shards:    shards,
 		Rec:       o.Rec,
+		TS:        o.TS,
 	})
 	must(err)
 	o.traceWorld(dims, dims.Nodes())

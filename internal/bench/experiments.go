@@ -14,6 +14,7 @@ import (
 	"apenetsim/internal/rdma"
 	"apenetsim/internal/route"
 	"apenetsim/internal/sim"
+	"apenetsim/internal/timeseries"
 	"apenetsim/internal/torus"
 	"apenetsim/internal/trace"
 	"apenetsim/internal/units"
@@ -59,7 +60,7 @@ type Options struct {
 	// conservative protocol of sim.Group (see coll.Config.Shards). The
 	// results are pinned bit-identical to the serial engine by
 	// TestShardedEquivalence; worlds whose configuration is not
-	// shard-exact (adaptive/fault routers, tracing) fall back to serial.
+	// shard-exact (adaptive/fault routers) fall back to serial.
 	// Set from apebench's -shards flag and recorded in the run JSON.
 	Shards int
 	// HotLinks, when positive, makes the experiments that drive collective
@@ -76,9 +77,18 @@ type Options struct {
 	// given. The experiments that build traceable worlds (the coll-*,
 	// route-* and op-breakdown families) thread it into their worlds;
 	// recording is strictly off the Report path — no cell changes when a
-	// recorder is attached — but it does force those worlds serial (see
-	// coll.World.Notice).
+	// recorder is attached — and composes with Shards: sharded worlds
+	// capture into per-shard buffers and merge them canonically after the
+	// run (see coll.Config.Rec).
 	Rec *trace.Recorder
+	// TS, when non-nil, samples run telemetry (link utilization, queue
+	// backlog, outstanding ops, TLB hit rate, per-shard occupancy) from
+	// the collective worlds into interval time series, set by the Runner
+	// alongside Rec so traced runs also carry a telemetry section in
+	// their capture files. Off the Report path like Rec; the sampled
+	// series differ between serial and sharded runs (different sampling
+	// clocks — see coll.Config.TS).
+	TS *timeseries.Set
 }
 
 // traceWorld marks a world boundary in the stage-capture trace (dims

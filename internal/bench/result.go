@@ -82,9 +82,10 @@ type Run struct {
 	// it.
 	Shards int `json:"shards,omitempty"`
 	// Traced records a -trace-out run: every experiment carried a
-	// stage-capture recorder, which forces the coll worlds serial (a
-	// -shards request is ignored) and perturbs wall-clock numbers, so
-	// baseline compares gate on it. Additive field: older schema-1
+	// stage-capture recorder and a telemetry sampler, which perturb
+	// wall-clock numbers, so baseline compares gate on it. Tracing
+	// composes with -shards (per-shard capture buffers merged
+	// canonically after each run). Additive field: older schema-1
 	// readers ignore it.
 	Traced  bool     `json:"traced,omitempty"`
 	Results []Result `json:"results"`

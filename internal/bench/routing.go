@@ -41,6 +41,7 @@ func routedWorld(o Options, dims torus.Dims, mode route.Mode) (*sim.Engine, *col
 		Card:      &cfg,
 		SlotBytes: collSlot,
 		Rec:       o.Rec,
+		TS:        o.TS,
 	})
 	must(err)
 	o.traceWorld(dims, dims.Nodes())

@@ -11,9 +11,16 @@ import (
 
 	"apenetsim/internal/route"
 	"apenetsim/internal/sim"
+	"apenetsim/internal/timeseries"
 	"apenetsim/internal/trace"
 	"apenetsim/internal/trace/render"
 )
+
+// SampleInterval is the telemetry sampling period traced experiments use:
+// fine enough to resolve collective phases at the paper's microsecond
+// latencies, coarse enough that long runs stay within the sampler's
+// decimation budget (timeseries.MaxSamples).
+const SampleInterval = 10 * sim.Microsecond
 
 // Runner executes experiments across a worker pool. Experiments are
 // independent full simulations (each builds its own engines), so they
@@ -34,11 +41,12 @@ type Runner struct {
 	// a single goroutine at a time.
 	Progress func(Result)
 	// TraceDir, when non-empty, gives every experiment its own recorder in
-	// stage-capture mode and writes its capture (shared trace.File schema)
-	// and rendered HTML page to TraceDir/<id>.json and TraceDir/<id>.html.
-	// Experiments that emitted nothing write no files. Tracing forces the
-	// coll worlds serial and is recorded as Run.Traced so baseline compares
-	// can gate on it.
+	// stage-capture mode plus a telemetry sampler, and writes its capture
+	// (shared trace.File schema, sampled series included) and rendered
+	// HTML page to TraceDir/<id>.json and TraceDir/<id>.html. Experiments
+	// that emitted nothing write no files. Tracing composes with -shards
+	// (per-shard capture buffers, canonical post-run merge) and is
+	// recorded as Run.Traced so baseline compares can gate on it.
 	TraceDir string
 
 	mu sync.Mutex // serializes Progress
@@ -115,6 +123,7 @@ func (r *Runner) runOne(e Experiment) Result {
 	if r.TraceDir != "" {
 		opts.Rec = trace.New()
 		opts.Rec.SetStages(true)
+		opts.TS = timeseries.NewSet(SampleInterval)
 	}
 
 	res := Result{ID: e.ID, Title: e.Title, Seed: opts.Seed}
@@ -130,7 +139,7 @@ func (r *Runner) runOne(e Experiment) Result {
 	}()
 	res.WallSeconds = time.Since(start).Seconds()
 	if opts.Rec.Len() > 0 {
-		if err := r.writeTrace(e.ID, opts.Rec); err != nil && res.Err == "" {
+		if err := r.writeTrace(e.ID, opts.Rec, opts.TS); err != nil && res.Err == "" {
 			res.Err = fmt.Sprintf("trace-out: %v", err)
 		}
 	}
@@ -148,9 +157,9 @@ func (r *Runner) runOne(e Experiment) Result {
 	return res
 }
 
-// writeTrace saves one experiment's stage capture and its rendered HTML
-// page under TraceDir.
-func (r *Runner) writeTrace(id string, rec *trace.Recorder) error {
+// writeTrace saves one experiment's stage capture — events plus any
+// sampled telemetry series — and its rendered HTML page under TraceDir.
+func (r *Runner) writeTrace(id string, rec *trace.Recorder, ts *timeseries.Set) error {
 	if err := os.MkdirAll(r.TraceDir, 0o755); err != nil {
 		return err
 	}
@@ -158,6 +167,7 @@ func (r *Runner) writeTrace(id string, rec *trace.Recorder) error {
 	if r.Opts.Dims.Valid() {
 		f.Dims = r.Opts.Dims.String()
 	}
+	f.Series = ts.Series()
 	if err := f.Save(filepath.Join(r.TraceDir, id+".json")); err != nil {
 		return err
 	}

@@ -56,9 +56,76 @@ func TestTraceOutRendersDetours(t *testing.T) {
 		!strings.Contains(string(page), "stroke-dasharray") {
 		t.Fatal("space-time diagram shows no detoured packets for a degraded torus")
 	}
-	if n := countWellFormedSVGs(t, page); n != 2 {
-		t.Fatalf("page embeds %d well-formed SVGs, want 2", n)
+	// Traced runs also sample telemetry: links.util/backlog (frac, ps)
+	// and ops.outstanding (ops) group into one chart per unit on top of
+	// the timeline and space-time views. route-degraded runs serial
+	// (fault router), so there are no shard-occupancy lanes.
+	if len(f.Series) == 0 {
+		t.Fatal("traced capture carries no telemetry series")
 	}
+	if !strings.Contains(string(page), "Run telemetry") {
+		t.Fatal("rendered page has no telemetry section")
+	}
+	if strings.Contains(string(page), "shard occupancy") {
+		t.Fatal("serial run grew shard-occupancy lanes")
+	}
+	if n := countWellFormedSVGs(t, page); n != 5 {
+		t.Fatalf("page embeds %d well-formed SVGs, want timeline + space-time + 3 unit charts", n)
+	}
+}
+
+// TestTracedShardedRunMergesCapture pins the -trace-out/-shards
+// composition at the runner level: a sharded traced experiment merges its
+// per-shard capture buffers into one stream with wire hops, marks shard
+// occupancy series, and the run report records both flags.
+func TestTracedShardedRunMergesCapture(t *testing.T) {
+	dir := t.TempDir()
+	exps, err := Select([]string{"coll-allreduce"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Runner{Parallel: 1, Opts: Options{Quick: true, Shards: 2}, TraceDir: dir}
+	run := r.Run(exps)
+	if !run.Traced || run.Shards != 2 {
+		t.Fatalf("run flags = traced %v shards %d, want true/2", run.Traced, run.Shards)
+	}
+	if res := run.Results[0]; res.Err != "" {
+		t.Fatalf("coll-allreduce failed: %s", res.Err)
+	}
+	if run.Results[0].ShardRounds == 0 {
+		t.Fatal("sharded traced run executed no group rounds — world fell back to serial")
+	}
+
+	f, err := trace.LoadFile(filepath.Join(dir, "coll-allreduce.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hops := 0
+	for _, ev := range f.Events {
+		if ev.Kind == "hop" {
+			hops++
+		}
+	}
+	if hops == 0 {
+		t.Fatal("merged sharded capture holds no wire-hop spans")
+	}
+	shardSeries := 0
+	for _, s := range f.Series {
+		if strings.HasPrefix(s.Name, "shard") && strings.HasSuffix(s.Name, ".busy") {
+			shardSeries++
+		}
+	}
+	if shardSeries != 2 {
+		t.Fatalf("capture carries %d shard occupancy series, want 2", shardSeries)
+	}
+	page, err := os.ReadFile(filepath.Join(dir, "coll-allreduce.html"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(page), "shard occupancy") {
+		t.Fatal("rendered page has no shard-occupancy lanes")
+	}
+	countWellFormedSVGs(t, page)
 }
 
 // countWellFormedSVGs XML-parses every <svg>...</svg> block in page.

@@ -31,6 +31,11 @@ type NodeConfig struct {
 	// GPUs, card) are built on — the node's shard in a sharded world.
 	// nil means the cluster engine, the serial default.
 	Eng *sim.Engine
+	// Rec, when non-nil, is the recorder this node's components emit
+	// into — the node's shard-private trace buffer in a sharded world,
+	// so the emit path stays single-writer and lock-free. nil means the
+	// cluster recorder, the serial default.
+	Rec *trace.Recorder
 }
 
 // Node is one assembled machine.
@@ -85,7 +90,11 @@ func (cl *Cluster) buildNode(i int, cfg NodeConfig) (*Node, error) {
 	if eng == nil {
 		eng = cl.Eng
 	}
-	fab := pcie.NewFabric(eng, cl.Rec, fmt.Sprintf("node%d", i), "rc")
+	rec := cfg.Rec
+	if rec == nil {
+		rec = cl.Rec
+	}
+	fab := pcie.NewFabric(eng, rec, fmt.Sprintf("node%d", i), "rc")
 	fab.Root().CompletionLatency = HostMemCplLatency
 	// All endpoints behind one PLX switch: the "ideal platform" of the
 	// paper's Table I footnote (GPU and APEnet+ linked by a PLX switch).
@@ -113,7 +122,7 @@ func (cl *Cluster) buildNode(i int, cfg NodeConfig) (*Node, error) {
 			cl.Net = core.NewNetwork(cl.Eng, cl.Dims, cfg.Card.LinkBandwidth, cfg.Card.HopLatency)
 		}
 		pci := fab.Attach(fmt.Sprintf("node%d.apenet", i), sw, pcie.Gen2x8, hopLat)
-		card, err := core.NewCard(eng, *cfg.Card, cl.Rec, fmt.Sprintf("ape%d", i),
+		card, err := core.NewCard(eng, *cfg.Card, rec, fmt.Sprintf("ape%d", i),
 			fab, pci, node.HostMem, cl.Net, node.Coord)
 		if err != nil {
 			return nil, err

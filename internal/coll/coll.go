@@ -31,6 +31,7 @@ import (
 	"apenetsim/internal/rdma"
 	"apenetsim/internal/route"
 	"apenetsim/internal/sim"
+	"apenetsim/internal/timeseries"
 	"apenetsim/internal/torus"
 	"apenetsim/internal/trace"
 	"apenetsim/internal/units"
@@ -51,8 +52,22 @@ type Config struct {
 	// 4 MB.
 	SlotBytes units.ByteSize
 	// Rec, when non-nil, records trace events (and allows
-	// Network.TraceLinkStats snapshots).
+	// Network.TraceLinkStats snapshots). Sharded worlds give every slab
+	// its own shard-private recorder — the emit path stays lock-free —
+	// and Run merges the per-shard streams into Rec in the canonical
+	// order (trace.SortCanonical), which is byte-identical across shard
+	// counts. Serial traced runs are normalized with the same sort, so
+	// one capture compares equal however many engines produced it.
 	Rec *trace.Recorder
+	// TS, when non-nil, collects interval-sampled run telemetry during
+	// Run — link utilization and backlog, outstanding collective sends,
+	// TLB hit rate, and (sharded) per-shard busy fractions. Serial
+	// worlds sample on a self-rescheduling infra event; sharded worlds
+	// sample at round barriers, so the sampling instants (and therefore
+	// the series, unlike the event stream) differ across shard counts.
+	// See internal/timeseries; apebench -trace-out embeds the series in
+	// the capture file.
+	TS *timeseries.Set
 	// Shards asks for sharded execution: the torus is sliced into that
 	// many slabs along its longest dimension, each slab's nodes live on
 	// their own sim engine, and the engines run in parallel under the
@@ -62,8 +77,7 @@ type Config struct {
 	// is an error (see MaxShards). The request is ignored entirely
 	// (serial fallback) when the configuration is not shard-exact:
 	// non-dimension-ordered routing reads live per-link state whose
-	// evolution is order-sensitive, and a trace recorder would interleave
-	// emits from parallel workers.
+	// evolution is order-sensitive.
 	//
 	// -1 runs the one-slab group: every event on one engine, but with
 	// the group's barrier-deferred message protocol and wire-arrival-
@@ -85,14 +99,19 @@ type World struct {
 	Cfg   Config
 	Ranks []*Rank
 
-	bar    *barrier
-	shards int    // effective shard count (1 = serial)
-	notice string // non-empty when a shard request was clamped to serial
+	bar       *barrier
+	g         *sim.Group        // nil: serial engine
+	shardRecs []*trace.Recorder // per-slab recorders, parallel to the group's engines
+	shards    int               // effective shard count (1 = serial)
+	notice    string            // non-empty when a shard request was clamped to serial
 }
 
 // Notice returns the explanation recorded when a sharding request could
 // not be honored ("" when the world runs exactly as configured) — e.g.
-// "tracing forces serial" when a recorder is attached with Shards > 1.
+// "non-dimension-ordered routing is not shardable" when an adaptive or
+// fault-aware router is configured with Shards > 1. Tracing no longer
+// forces serial: a traced sharded world records into per-shard buffers
+// and merges them deterministically after the run.
 func (w *World) Notice() string { return w.notice }
 
 // Rank is one collective participant: a node, its card endpoint, and the
@@ -175,16 +194,14 @@ func NewWorld(eng *sim.Engine, cfg Config) (*World, error) {
 	// Worlds a sim.Group cannot run bit-exact fall back to the serial
 	// engine. The fallback used to be silent; it is now recorded on the
 	// World (Notice) so callers — apebench in particular — can surface
-	// "tracing forces serial" instead of quietly dropping a -shards
-	// request.
+	// the reason instead of quietly dropping a -shards request. Tracing
+	// is not such a reason: sharded worlds record into per-shard
+	// buffers and Run merges them canonically.
 	notice := ""
-	if cc.Routing.Mode != route.ModeDimensionOrder || cfg.Rec != nil || cc.HopLatency <= 0 {
+	if cc.Routing.Mode != route.ModeDimensionOrder || cc.HopLatency <= 0 {
 		if shards > 1 || groupOne {
 			reason := "non-dimension-ordered routing is not shardable"
-			switch {
-			case cfg.Rec != nil:
-				reason = "tracing forces serial"
-			case cc.HopLatency <= 0:
+			if cc.HopLatency <= 0 {
 				reason = "zero hop latency leaves no group lookahead"
 			}
 			req := fmt.Sprintf("%d-shard request", shards)
@@ -198,21 +215,37 @@ func NewWorld(eng *sim.Engine, cfg Config) (*World, error) {
 	}
 	var g *sim.Group
 	engOf := func(i int) *sim.Engine { return eng }
+	slabOf := func(i int) int {
+		return axisCoord(cfg.Dims.CoordOf(i), axis) * shards / axisLen(cfg.Dims, axis)
+	}
 	if shards > 1 || groupOne {
 		g = sim.NewGroup(eng, shards, cc.HopLatency)
-		engOf = func(i int) *sim.Engine {
-			co := axisCoord(cfg.Dims.CoordOf(i), axis)
-			return g.Engine(co * shards / axisLen(cfg.Dims, axis))
+		engOf = func(i int) *sim.Engine { return g.Engine(slabOf(i)) }
+	}
+
+	// Per-shard trace buffers: each slab's components emit into their
+	// own recorder (single-writer, no locks on the emit path), mirroring
+	// the attached recorder's mode; Run merges them back. Serial worlds
+	// keep the direct wiring.
+	var shardRecs []*trace.Recorder
+	recOf := func(i int) *trace.Recorder { return nil }
+	if g != nil && cfg.Rec.Enabled() {
+		shardRecs = make([]*trace.Recorder, shards)
+		for k := range shardRecs {
+			shardRecs[k] = trace.New()
+			shardRecs[k].SetStages(cfg.Rec.Stages())
 		}
+		recOf = func(i int) *trace.Recorder { return shardRecs[slabOf(i)] }
 	}
 
 	cl, err := cluster.New(eng, cfg.Rec, cfg.Dims, n, func(i int) cluster.NodeConfig {
-		return cluster.NodeConfig{GPUSpecs: specs, Card: &cc, Eng: engOf(i)}
+		return cluster.NodeConfig{GPUSpecs: specs, Card: &cc, Eng: engOf(i), Rec: recOf(i)}
 	})
 	if err != nil {
 		return nil, err
 	}
-	w := &World{Eng: eng, Cl: cl, Dims: cfg.Dims, Cfg: cfg, bar: newBarrier(eng, n, g), shards: shards, notice: notice}
+	w := &World{Eng: eng, Cl: cl, Dims: cfg.Dims, Cfg: cfg, bar: newBarrier(eng, n, g),
+		g: g, shardRecs: shardRecs, shards: shards, notice: notice}
 	for i, node := range cl.Nodes {
 		w.Ranks = append(w.Ranks, &Rank{
 			ID:      i,
@@ -276,6 +309,10 @@ func axisCoord(c torus.Coord, axis int) int {
 // completion. Each rank registers its buffers first; body starts after a
 // world barrier, so ranks enter aligned.
 func (w *World) Run(body func(p *sim.Proc, r *Rank)) {
+	// Events recorded before this Run (earlier worlds sharing the
+	// recorder, world markers) keep their order; only this run's capture
+	// is merged/normalized below.
+	mark := w.Cfg.Rec.Len()
 	for _, r := range w.Ranks {
 		r := r
 		// Each rank's process lives on its node's engine — its shard's
@@ -286,11 +323,36 @@ func (w *World) Run(body func(p *sim.Proc, r *Rank)) {
 			body(p, r)
 		})
 	}
+	w.installSampling()
 	w.Eng.Run()
+	w.mergeTrace(mark)
 	if w.Cfg.Rec.Stages() {
 		// Stage captures carry the final link counters so the renderer's
 		// link table matches the network's own meters.
 		w.Net().TraceLinkStats(w.Cfg.Rec)
+	}
+}
+
+// mergeTrace folds this run's capture into the attached recorder in the
+// canonical order: sharded worlds append the per-shard streams (in shard
+// order) and sort, serial worlds sort their suffix in place. Both end at
+// the identical byte stream for the identical model results, which is
+// what lets a capture taken at 1, 2, or 4 shards compare equal.
+func (w *World) mergeTrace(mark int) {
+	if !w.Cfg.Rec.Enabled() {
+		return
+	}
+	if len(w.shardRecs) == 0 {
+		w.Cfg.Rec.MergeCanonical(mark)
+		return
+	}
+	streams := make([][]trace.Event, len(w.shardRecs))
+	for i, r := range w.shardRecs {
+		streams[i] = r.Events()
+	}
+	w.Cfg.Rec.MergeCanonical(mark, streams...)
+	for _, r := range w.shardRecs {
+		r.Reset()
 	}
 }
 

@@ -4,12 +4,18 @@ import (
 	"strings"
 	"testing"
 
+	"apenetsim/internal/core"
+	"apenetsim/internal/route"
 	"apenetsim/internal/sim"
 	"apenetsim/internal/torus"
 	"apenetsim/internal/trace"
 )
 
-func TestTracedWorldForcesSerialWithNotice(t *testing.T) {
+// Tracing no longer forces serial: a traced shard request runs sharded,
+// recording into per-shard buffers that Run merges canonically. The
+// serial fallback (and its Notice) remains only where sharding itself is
+// refused — non-dimension-ordered routing, zero hop latency.
+func TestNoticeOnlyForUnshardableWorlds(t *testing.T) {
 	dims := torus.Dims{X: 4, Y: 2, Z: 2}
 
 	eng := sim.New()
@@ -18,11 +24,11 @@ func TestTracedWorldForcesSerialWithNotice(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if w.Shards() != 1 {
-		t.Fatalf("traced world runs %d shards, want serial", w.Shards())
+	if w.Shards() != 2 {
+		t.Fatalf("traced world runs %d shards, want 2 (tracing must not force serial)", w.Shards())
 	}
-	if n := w.Notice(); !strings.Contains(n, "tracing forces serial") {
-		t.Fatalf("Notice() = %q, want the tracing-forces-serial explanation", n)
+	if n := w.Notice(); n != "" {
+		t.Fatalf("Notice() = %q, want none for a traced sharded world", n)
 	}
 
 	// The same request without a recorder shards as asked, silently.
@@ -36,14 +42,31 @@ func TestTracedWorldForcesSerialWithNotice(t *testing.T) {
 		t.Fatalf("untraced world = %d shards, notice %q; want 2 shards and no notice", w2.Shards(), w2.Notice())
 	}
 
-	// A traced serial request was never clamped, so it carries no notice.
+	// A non-dimension-ordered router is still unshardable: serial
+	// fallback, recorded on the world.
 	eng3 := sim.New()
 	defer eng3.Shutdown()
-	w3, err := NewWorld(eng3, Config{Dims: dims, Rec: trace.New()})
+	cc := core.DefaultConfig()
+	cc.Routing.Mode = route.ModeAdaptive
+	w3, err := NewWorld(eng3, Config{Dims: dims, Card: &cc, Shards: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if w3.Shards() != 1 || w3.Notice() != "" {
-		t.Fatalf("traced serial world = %d shards, notice %q; want 1 shard and no notice", w3.Shards(), w3.Notice())
+	if w3.Shards() != 1 {
+		t.Fatalf("adaptive-routed world runs %d shards, want serial fallback", w3.Shards())
+	}
+	if n := w3.Notice(); !strings.Contains(n, "non-dimension-ordered routing") {
+		t.Fatalf("Notice() = %q, want the routing explanation", n)
+	}
+
+	// A traced serial request was never clamped, so it carries no notice.
+	eng4 := sim.New()
+	defer eng4.Shutdown()
+	w4, err := NewWorld(eng4, Config{Dims: dims, Rec: trace.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w4.Shards() != 1 || w4.Notice() != "" {
+		t.Fatalf("traced serial world = %d shards, notice %q; want 1 shard and no notice", w4.Shards(), w4.Notice())
 	}
 }

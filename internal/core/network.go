@@ -284,8 +284,11 @@ func (n *Network) nextHop(cur, dst torus.Coord, at sim.Time, wire units.ByteSize
 // link died under a fault-blind router): the packet is lost and the
 // caller must account it. rec/pkt feed the per-hop wire spans of the
 // stage-capture trace (traceHop) and may be nil when nothing records.
-// Sharded forwarders carry no trace hooks: worlds that trace are always
-// serial (coll.NewWorld forces serial when a recorder is attached).
+// The sharded forwarders (orderedHop, forwardSharded) emit the same
+// spans through each hop owner's card recorder — shard-private in a
+// sharded traced world, so the emit path stays single-writer — and the
+// post-run canonical merge (trace.Recorder.MergeCanonical) interleaves
+// the per-shard streams deterministically.
 func (n *Network) forward(rec *trace.Recorder, pkt *Packet, srcCoord torus.Coord, firstDir torus.Dir, dst torus.Coord, firstHopEnd sim.Time, wire units.ByteSize, tally *routeTally) (arrival sim.Time, ok bool) {
 	cur := n.Dims.Neighbor(srcCoord, firstDir)
 	arrival = firstHopEnd.Add(n.hopLat)
@@ -380,7 +383,8 @@ func (n *Network) orderedHop(pkt *Packet, dest *Card, cur torus.Coord, key uint6
 			// orderedBooking guarantees a static route on a healthy torus.
 			panic("core: ordered hop booking dead-ended on a static route")
 		}
-		_, end := n.reserveHop(rank, dec.Dir, t, wire)
+		start, end := n.reserveHop(rank, dec.Dir, t, wire)
+		n.traceHop(n.cards[rank].Rec, pkt, rank, dec, start, end)
 		next := n.Dims.Neighbor(cur, dec.Dir)
 		arrival := end.Add(n.hopLat)
 		if next == dest.Coord {
@@ -444,7 +448,9 @@ func (n *Network) forwardSharded(src *Card, pkt *Packet, dest *Card,
 			return
 		}
 		tally.add(dec)
-		_, end := n.reserveHop(n.Dims.Rank(cur), dec.Dir, at, wire)
+		rank := n.Dims.Rank(cur)
+		start, end := n.reserveHop(rank, dec.Dir, at, wire)
+		n.traceHop(n.cards[rank].Rec, pkt, rank, dec, start, end)
 		at = end.Add(n.hopLat)
 		cur = n.Dims.Neighbor(cur, dec.Dir)
 	}
@@ -651,7 +657,12 @@ func (n *Network) TraceLinkStats(rec *trace.Recorder) {
 	if !rec.Enabled() {
 		return
 	}
-	now := n.Eng.Now()
+	// WorkEnd, not Now: a traced run's telemetry sampler leaves a trailing
+	// infra tick past the last real event, and the snapshot must carry the
+	// same timestamp (and utilization denominator) whether or not a
+	// sampler ran — that keeps traced captures byte-identical across
+	// engine layouts.
+	now := n.Eng.WorkEnd()
 	for _, s := range n.LinkStats() {
 		rec.Emit(now, "torus."+s.Name(), "link_stats", s.WireBytes,
 			fmt.Sprintf("packets=%d util=%.1f%% peak_backlog=%v", s.Packets, 100*s.Utilization(now), s.PeakBacklog))

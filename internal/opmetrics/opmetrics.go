@@ -239,6 +239,7 @@ type StageSummary struct {
 	Count int          `json:"count"`
 	P50   sim.Duration `json:"p50_ps"`
 	P90   sim.Duration `json:"p90_ps"`
+	P99   sim.Duration `json:"p99_ps"` // additive field: older readers ignore it
 	Max   sim.Duration `json:"max_ps"`
 }
 
@@ -264,6 +265,7 @@ func Summarize(ops []*Op) []StageSummary {
 			Count: len(ds),
 			P50:   ds[(len(ds)-1)*50/100],
 			P90:   ds[(len(ds)-1)*90/100],
+			P99:   ds[(len(ds)-1)*99/100],
 			Max:   ds[len(ds)-1],
 		})
 	}

@@ -129,6 +129,32 @@ func TestSummarizePercentilesAreNearestRank(t *testing.T) {
 	if sums[0].P50 != 20*sim.Microsecond || sums[0].P90 != 20*sim.Microsecond || sums[0].Max != 90*sim.Microsecond {
 		t.Fatalf("percentiles = p50 %v p90 %v max %v", sums[0].P50, sums[0].P90, sums[0].Max)
 	}
+	// On three samples p99's nearest rank is (3-1)*99/100 = 1 as well.
+	if sums[0].P99 != 20*sim.Microsecond {
+		t.Fatalf("p99 = %v, want 20us", sums[0].P99)
+	}
+}
+
+func TestSummarizeP99ExactRank(t *testing.T) {
+	// 100 submits of 1..100 us in scrambled emission order: sorted,
+	// nearest-rank p50 is index (100-1)*50/100 = 49 (50 us), p90 index
+	// 89 (90 us), p99 index 98 (99 us — the second largest, NOT the
+	// max), max index 99.
+	var evs []trace.Event
+	for i := 0; i < 100; i++ {
+		d := sim.Duration((i*37)%100+1) * sim.Microsecond // 1..100, scrambled
+		t0 := sim.Time(1000 * (i + 1))
+		evs = append(evs, ev(t0, t0.Add(d), "ape0.op", "submit", uint64(i+1), 64, "kind=put src=0 dst=1"))
+	}
+	sums := Summarize(Collect(evs))
+	if len(sums) != 1 || sums[0].Count != 100 {
+		t.Fatalf("summary = %+v", sums)
+	}
+	s := sums[0]
+	if s.P50 != 50*sim.Microsecond || s.P90 != 90*sim.Microsecond ||
+		s.P99 != 99*sim.Microsecond || s.Max != 100*sim.Microsecond {
+		t.Fatalf("percentiles = p50 %v p90 %v p99 %v max %v", s.P50, s.P90, s.P99, s.Max)
+	}
 }
 
 func TestWriters(t *testing.T) {

@@ -53,6 +53,7 @@ func (ev *Event) Time() Time { return ev.t }
 // parameter sweeps).
 type Engine struct {
 	now     Time
+	workEnd Time // time of the last executed non-infra event
 	heap    []*Event
 	seq     uint64
 	nsteps  uint64
@@ -90,6 +91,12 @@ func (e *Engine) Now() Time { return e.now }
 
 // Steps returns the number of events executed so far.
 func (e *Engine) Steps() uint64 { return e.nsteps }
+
+// WorkEnd returns the time of the last executed non-infra event — the
+// simulation's natural end. Unlike Now, it is unaffected by trailing
+// infrastructure bookkeeping (e.g. a telemetry sampler tick that rounds
+// the clock up past the last real event).
+func (e *Engine) WorkEnd() Time { return e.workEnd }
 
 // PeakPending returns the largest number of simultaneously queued events
 // seen so far — the event-queue high-water mark, a direct measure of how
@@ -187,6 +194,7 @@ func (e *Engine) Step() bool {
 	e.now = ev.t
 	if !ev.infra {
 		e.nsteps++
+		e.workEnd = ev.t
 	}
 	fn := ev.fn
 	if ev.pooled {

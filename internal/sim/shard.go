@@ -56,6 +56,17 @@ type Group struct {
 	work      []chan Time
 	done      chan struct{}
 	workersUp bool
+
+	// OnRound, when set, is called at the end of every round — after all
+	// activated workers have drained back through done, so the callback
+	// runs in coordinator context with every shard parked and cross-shard
+	// reads safe. floor is the round's minNext (the global lower bound on
+	// any remaining event stamp) and busy[i] reports whether shard i had
+	// work this round. The busy slice is reused across rounds; callers
+	// must not retain it. Set it before Run; the group never writes it.
+	OnRound func(floor Time, busy []bool)
+
+	busyFlags []bool // reused per-round scratch handed to OnRound
 }
 
 // extMsg is one cross-shard message awaiting ingestion.
@@ -98,6 +109,7 @@ func NewGroup(eng *Engine, n int, lookahead Duration) *Group {
 		lookahead: lookahead,
 		outbox:    make([][][]extMsg, n),
 		postSeq:   make([]uint64, n),
+		busyFlags: make([]bool, n),
 	}
 	g.engines[0] = eng
 	for i := 1; i < n; i++ {
@@ -231,8 +243,10 @@ func (g *Group) run() {
 		active := 0
 		for i, e := range g.engines {
 			if ev := e.peek(); ev == nil || ev.t >= horizon {
+				g.busyFlags[i] = false
 				continue
 			}
+			g.busyFlags[i] = true
 			active++
 			g.work[i] <- horizon
 		}
@@ -243,6 +257,9 @@ func (g *Group) run() {
 		busyShardRounds += uint64(active)
 		for ; active > 0; active-- {
 			<-g.done
+		}
+		if g.OnRound != nil {
+			g.OnRound(minNext, g.busyFlags)
 		}
 	}
 	g.engines[0].account.addShardRounds(rounds, busyShardRounds)

@@ -1,0 +1,217 @@
+// Package timeseries captures interval-sampled scalar telemetry during a
+// simulation run: per-link utilization, queue backlog, per-shard busy
+// fractions, outstanding operations, TLB hit rates. A Set holds named
+// probes that are all sampled at the same instants; the resulting series
+// embed into the trace capture schema (trace.File.Series) as an additive
+// section, and render/apetrace plot them as SVG line charts.
+//
+// Everything here is deterministic: sampling instants come from the
+// simulated clock, and the bounded-memory decimation (drop every other
+// sample and double the interval once a series would exceed MaxSamples)
+// is a pure function of the sample count — never of wall time.
+package timeseries
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"apenetsim/internal/sim"
+)
+
+// MaxSamples is the per-series retention cap. When one more sample would
+// exceed it, the Set halves every series (keeping samples 0, 2, 4, …)
+// and doubles the sampling interval, so a run of any length keeps at
+// most this many points per series at uniform spacing.
+const MaxSamples = 512
+
+// Sample is one (time, value) point.
+type Sample struct {
+	T sim.Time `json:"t_ps"`
+	V float64  `json:"v"`
+}
+
+// Series is one named sampled quantity.
+type Series struct {
+	Name    string   `json:"name"`
+	Unit    string   `json:"unit,omitempty"` // e.g. "frac", "ops", "ps"
+	Samples []Sample `json:"samples"`
+}
+
+// Probe produces one value per sampling instant.
+type Probe func(now sim.Time) float64
+
+// Set is a group of probes sampled together. Zero value is not usable;
+// build with NewSet. A nil *Set is valid and ignores every call, so
+// sampling hooks can be installed unconditionally.
+type Set struct {
+	interval sim.Duration
+	names    []string // insertion order
+	probes   map[string]Probe
+	series   map[string]*Series
+}
+
+// NewSet builds a sampler that fires every interval of simulated time.
+// The interval doubles whenever decimation trims the history (see
+// MaxSamples). interval must be positive.
+func NewSet(interval sim.Duration) *Set {
+	if interval <= 0 {
+		panic(fmt.Sprintf("timeseries: interval must be positive, got %v", interval))
+	}
+	return &Set{
+		interval: interval,
+		probes:   map[string]Probe{},
+		series:   map[string]*Series{},
+	}
+}
+
+// Probe registers a named probe. Registering the same name twice
+// replaces the probe function but keeps the collected samples. Safe on a
+// nil Set.
+func (s *Set) Probe(name, unit string, fn Probe) {
+	if s == nil {
+		return
+	}
+	if _, ok := s.probes[name]; !ok {
+		s.names = append(s.names, name)
+		s.series[name] = &Series{Name: name, Unit: unit}
+	}
+	s.probes[name] = fn
+}
+
+// Interval returns the current sampling interval (doubled by each
+// decimation). Safe on a nil Set, which reports 0.
+func (s *Set) Interval() sim.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.interval
+}
+
+// Sample reads every probe at the given instant and appends one point
+// per series, decimating first when the cap is reached. Safe on a nil
+// Set.
+func (s *Set) Sample(now sim.Time) {
+	if s == nil {
+		return
+	}
+	if len(s.names) > 0 && len(s.series[s.names[0]].Samples) >= MaxSamples {
+		s.decimate()
+	}
+	for _, name := range s.names {
+		sr := s.series[name]
+		sr.Samples = append(sr.Samples, Sample{T: now, V: s.probes[name](now)})
+	}
+}
+
+// decimate keeps every other sample of every series and doubles the
+// interval, preserving uniform spacing at half the resolution.
+func (s *Set) decimate() {
+	for _, name := range s.names {
+		sr := s.series[name]
+		kept := sr.Samples[:0]
+		for i := 0; i < len(sr.Samples); i += 2 {
+			kept = append(kept, sr.Samples[i])
+		}
+		sr.Samples = kept
+	}
+	s.interval *= 2
+}
+
+// Len returns the number of samples held per series (all series are
+// sampled together). Safe on a nil Set.
+func (s *Set) Len() int {
+	if s == nil || len(s.names) == 0 {
+		return 0
+	}
+	return len(s.series[s.names[0]].Samples)
+}
+
+// Series returns the collected series sorted by name, with nil sample
+// slices normalized to empty so the JSON shape is stable. Safe on a nil
+// Set, which returns nil.
+func (s *Set) Series() []Series {
+	if s == nil {
+		return nil
+	}
+	out := make([]Series, 0, len(s.names))
+	for _, name := range s.names {
+		sr := *s.series[name]
+		if sr.Samples == nil {
+			sr.Samples = []Sample{}
+		}
+		out = append(out, sr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Downsample returns at most n points of sr chosen by nearest-sample
+// selection at n evenly spaced instants across the series' time span.
+// Series at or under n points are returned as-is. n must be at least 2
+// (the endpoints); smaller values return the original series.
+func Downsample(sr Series, n int) Series {
+	if n < 2 || len(sr.Samples) <= n {
+		return sr
+	}
+	first, last := sr.Samples[0].T, sr.Samples[len(sr.Samples)-1].T
+	span := last.Sub(first)
+	out := Series{Name: sr.Name, Unit: sr.Unit, Samples: make([]Sample, 0, n)}
+	idx := 0
+	for i := 0; i < n; i++ {
+		target := first.Add(span * sim.Duration(i) / sim.Duration(n-1))
+		// Samples are time-ordered: advance while the next one is nearer.
+		for idx+1 < len(sr.Samples) {
+			cur := sr.Samples[idx].T.Sub(target)
+			next := sr.Samples[idx+1].T.Sub(target)
+			if abs(next) < abs(cur) {
+				idx++
+				continue
+			}
+			break
+		}
+		p := sr.Samples[idx]
+		if k := len(out.Samples); k > 0 && out.Samples[k-1].T == p.T {
+			continue // nearest sample repeated; keep one
+		}
+		out.Samples = append(out.Samples, p)
+	}
+	return out
+}
+
+func abs(d sim.Duration) sim.Duration {
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+// WriteCSV renders series as long-form CSV: one row per sample with a
+// header, values formatted with strconv 'g' so they round-trip.
+func WriteCSV(w io.Writer, series []Series) error {
+	if _, err := fmt.Fprintln(w, "series,unit,t_ps,value"); err != nil {
+		return err
+	}
+	for _, sr := range series {
+		for _, p := range sr.Samples {
+			v := strconv.FormatFloat(p.V, 'g', -1, 64)
+			if _, err := fmt.Fprintf(w, "%s,%s,%d,%s\n", sr.Name, sr.Unit, int64(p.T), v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders series as an indented JSON array, the same shape
+// trace.File embeds under "series".
+func WriteJSON(w io.Writer, series []Series) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if series == nil {
+		series = []Series{}
+	}
+	return enc.Encode(series)
+}

@@ -1,0 +1,108 @@
+package timeseries
+
+import (
+	"strings"
+	"testing"
+
+	"apenetsim/internal/sim"
+)
+
+func TestSampleAndSeriesOrder(t *testing.T) {
+	s := NewSet(10)
+	s.Probe("b.second", "ops", func(now sim.Time) float64 { return 2 })
+	s.Probe("a.first", "frac", func(now sim.Time) float64 { return float64(now) })
+	s.Sample(0)
+	s.Sample(10)
+	out := s.Series()
+	if len(out) != 2 {
+		t.Fatalf("series count = %d, want 2", len(out))
+	}
+	if out[0].Name != "a.first" || out[1].Name != "b.second" {
+		t.Fatalf("series not sorted by name: %q, %q", out[0].Name, out[1].Name)
+	}
+	if got := out[0].Samples; len(got) != 2 || got[1].T != 10 || got[1].V != 10 {
+		t.Fatalf("a.first samples = %+v", got)
+	}
+	if out[1].Unit != "ops" {
+		t.Fatalf("unit = %q, want ops", out[1].Unit)
+	}
+}
+
+func TestDecimationCapsAndDoublesInterval(t *testing.T) {
+	s := NewSet(1)
+	s.Probe("x", "", func(now sim.Time) float64 { return float64(now) })
+	for i := 0; i < 4*MaxSamples; i++ {
+		s.Sample(sim.Time(i))
+	}
+	if n := s.Len(); n > MaxSamples {
+		t.Fatalf("len = %d, want <= %d", n, MaxSamples)
+	}
+	if iv := s.Interval(); iv < 4 {
+		t.Fatalf("interval = %v, want >= 4 after two decimations", iv)
+	}
+	// Decimation keeps the even-indexed samples: the first sample survives
+	// every pass and values still match their timestamps.
+	sr := s.Series()[0]
+	if sr.Samples[0].T != 0 {
+		t.Fatalf("first sample T = %v, want 0", sr.Samples[0].T)
+	}
+	for _, p := range sr.Samples {
+		if p.V != float64(p.T) {
+			t.Fatalf("sample %+v lost its value", p)
+		}
+	}
+}
+
+func TestDownsampleNearest(t *testing.T) {
+	sr := Series{Name: "x"}
+	for i := 0; i < 100; i++ {
+		sr.Samples = append(sr.Samples, Sample{T: sim.Time(i * 10), V: float64(i)})
+	}
+	ds := Downsample(sr, 5)
+	if len(ds.Samples) != 5 {
+		t.Fatalf("downsample len = %d, want 5", len(ds.Samples))
+	}
+	if ds.Samples[0].T != 0 || ds.Samples[4].T != 990 {
+		t.Fatalf("endpoints not kept: %+v", ds.Samples)
+	}
+	// Targets are 0, 247.5, 495, 742.5, 990 — nearest samples 0, 250, 490
+	// or 500, 740, 990; monotone either way.
+	for i := 1; i < len(ds.Samples); i++ {
+		if ds.Samples[i].T <= ds.Samples[i-1].T {
+			t.Fatalf("non-monotone downsample: %+v", ds.Samples)
+		}
+	}
+	// Short series pass through untouched.
+	if got := Downsample(ds, 10); len(got.Samples) != 5 {
+		t.Fatalf("short series was resampled: %d points", len(got.Samples))
+	}
+}
+
+func TestWriters(t *testing.T) {
+	s := NewSet(5)
+	s.Probe("x", "frac", func(now sim.Time) float64 { return 0.5 })
+	s.Sample(0)
+	s.Sample(5)
+	var csv, js strings.Builder
+	if err := WriteCSV(&csv, s.Series()); err != nil {
+		t.Fatal(err)
+	}
+	if want := "series,unit,t_ps,value\nx,frac,0,0.5\nx,frac,5,0.5\n"; csv.String() != want {
+		t.Fatalf("csv = %q, want %q", csv.String(), want)
+	}
+	if err := WriteJSON(&js, s.Series()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), `"name": "x"`) || !strings.Contains(js.String(), `"t_ps": 5`) {
+		t.Fatalf("json = %s", js.String())
+	}
+}
+
+func TestNilSetIsSafe(t *testing.T) {
+	var s *Set
+	s.Probe("x", "", nil)
+	s.Sample(0)
+	if s.Len() != 0 || s.Series() != nil || s.Interval() != 0 {
+		t.Fatal("nil Set must be inert")
+	}
+}

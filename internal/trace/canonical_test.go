@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSortCanonicalOrder(t *testing.T) {
+	evs := []Event{
+		{T: 20, Comp: "b", Kind: "hop"},
+		{T: 10, Comp: "b", Kind: "hop", Op: 2},
+		{T: 10, Comp: "b", Kind: "hop", Op: 1},
+		{T: 10, Comp: "a", Kind: "hop", Op: 9},
+		{T: 10, Comp: "a", Kind: "hop", Op: 9, Dur: 5},
+	}
+	SortCanonical(evs)
+	want := []Event{
+		{T: 10, Comp: "a", Kind: "hop", Op: 9},
+		{T: 10, Comp: "a", Kind: "hop", Op: 9, Dur: 5},
+		{T: 10, Comp: "b", Kind: "hop", Op: 1},
+		{T: 10, Comp: "b", Kind: "hop", Op: 2},
+		{T: 20, Comp: "b", Kind: "hop"},
+	}
+	if !reflect.DeepEqual(evs, want) {
+		t.Fatalf("canonical order = %+v, want %+v", evs, want)
+	}
+}
+
+// Identical multisets of events, however they are split across streams,
+// must merge to identical sequences — the property the sharded capture
+// merge rests on.
+func TestMergeCanonicalIsPartitionInvariant(t *testing.T) {
+	all := []Event{
+		{T: 5, Comp: "wire.a", Kind: "hop", Op: 1, Note: "x"},
+		{T: 5, Comp: "wire.b", Kind: "hop", Op: 1, Note: "y"},
+		{T: 7, Comp: "ape0.op", Kind: "inject", Op: 2},
+		{T: 7, Comp: "ape1.op", Kind: "inject", Op: 3},
+		{T: 9, Comp: "wire.a", Kind: "hop", Op: 2},
+	}
+	merge := func(streams ...[]Event) []Event {
+		r := New()
+		r.MergeCanonical(0, streams...)
+		return r.Events()
+	}
+	whole := merge(all)
+	split2 := merge([]Event{all[1], all[3]}, []Event{all[0], all[2], all[4]})
+	split3 := merge([]Event{all[4]}, []Event{all[2], all[0]}, []Event{all[3], all[1]})
+	if !reflect.DeepEqual(whole, split2) || !reflect.DeepEqual(whole, split3) {
+		t.Fatalf("merge not partition-invariant:\nwhole=%+v\nsplit2=%+v\nsplit3=%+v", whole, split2, split3)
+	}
+}
+
+func TestMergeCanonicalPreservesPrefix(t *testing.T) {
+	r := New()
+	// A previous world's capture, deliberately out of canonical order.
+	r.Emit(50, "old", "marker", 0, "")
+	r.Emit(10, "old", "marker", 0, "")
+	mark := r.Len()
+	r.Emit(30, "new", "tail", 0, "")
+	r.MergeCanonical(mark, []Event{{T: 20, Comp: "new", Kind: "head"}})
+	evs := r.Events()
+	if evs[0].T != 50 || evs[1].T != 10 {
+		t.Fatalf("prefix reordered: %+v", evs[:2])
+	}
+	if evs[2].T != 20 || evs[3].T != 30 {
+		t.Fatalf("suffix not canonical: %+v", evs[2:])
+	}
+}
+
+func TestMergeCanonicalNilAndDisabled(t *testing.T) {
+	var nilRec *Recorder
+	nilRec.MergeCanonical(0, []Event{{T: 1}}) // must not panic
+	r := New()
+	r.SetEnabled(false)
+	r.MergeCanonical(0, []Event{{T: 1}})
+	if r.Len() != 0 {
+		t.Fatalf("disabled recorder accepted merged events")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"os"
 
 	"apenetsim/internal/sim"
+	"apenetsim/internal/timeseries"
 )
 
 // FileSchemaVersion identifies the shared trace-capture JSON shape
@@ -25,6 +26,12 @@ type File struct {
 	Dims          string     `json:"dims,omitempty"`   // torus dims ("4x2x2") when the capture has one
 	Links         []LinkInfo `json:"links,omitempty"`  // final per-link counters, if snapshotted
 	Events        []Event    `json:"events"`
+
+	// Series holds interval-sampled run telemetry (link utilization,
+	// shard occupancy, outstanding ops, TLB hit rate — see
+	// internal/timeseries). Additive schema-1 field: older readers
+	// ignore it, captures without telemetry omit it.
+	Series []timeseries.Series `json:"series,omitempty"`
 }
 
 // LinkInfo is a per-directed-link counter snapshot taken at the end of a

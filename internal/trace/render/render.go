@@ -450,12 +450,22 @@ p.meta { color: #666; font-size: 11px; }
 	b.WriteString("<h2>Packet space-time</h2>\n")
 	b.Write(spaceTimeSVG(c))
 
+	if len(f.Series) > 0 {
+		b.WriteString("<h2>Run telemetry</h2>\n")
+		if lanes := ShardLanesSVG(f); lanes != nil {
+			b.Write(lanes)
+		}
+		for _, chart := range seriesCharts(f) {
+			b.Write(chart)
+		}
+	}
+
 	if ops := opmetrics.Collect(f.Events); len(ops) > 0 {
 		b.WriteString("<h2>Stage breakdown (per-op percentiles)</h2>\n")
-		b.WriteString("<table><tr><th>stage</th><th>ops</th><th>p50</th><th>p90</th><th>max</th></tr>\n")
+		b.WriteString("<table><tr><th>stage</th><th>ops</th><th>p50</th><th>p90</th><th>p99</th><th>max</th></tr>\n")
 		for _, s := range opmetrics.Summarize(ops) {
-			fmt.Fprintf(&b, "<tr><td>%s</td><td>%d</td><td>%s</td><td>%s</td><td>%s</td></tr>\n",
-				html.EscapeString(s.Stage), s.Count, s.P50, s.P90, s.Max)
+			fmt.Fprintf(&b, "<tr><td>%s</td><td>%d</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>\n",
+				html.EscapeString(s.Stage), s.Count, s.P50, s.P90, s.P99, s.Max)
 		}
 		b.WriteString("</table>\n")
 	}

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"apenetsim/internal/sim"
+	"apenetsim/internal/timeseries"
 	"apenetsim/internal/trace"
 )
 
@@ -74,9 +75,24 @@ func wellFormedSVGs(t *testing.T, page []byte) int {
 	return n
 }
 
-func TestPageMatchesGolden(t *testing.T) {
-	got := Page(fixture())
-	golden := filepath.Join("testdata", "fixture.html")
+// telemetryFixture is fixture() plus sampled series: two shard
+// occupancy lanes and three probe series across two units, so the
+// telemetry section renders lanes plus one chart per unit.
+func telemetryFixture() *trace.File {
+	f := fixture()
+	f.Series = []timeseries.Series{
+		{Name: "links.util.max", Unit: "frac", Samples: []timeseries.Sample{{T: 2000, V: 0.9}, {T: 4000, V: 0.5}, {T: 8000, V: 0.1}}},
+		{Name: "links.util.mean", Unit: "frac", Samples: []timeseries.Sample{{T: 2000, V: 0.4}, {T: 4000, V: 0.25}, {T: 8000, V: 0.05}}},
+		{Name: "ops.outstanding", Unit: "ops", Samples: []timeseries.Sample{{T: 2000, V: 3}, {T: 4000, V: 1}, {T: 8000, V: 0}}},
+		{Name: "shard0.busy", Unit: "frac", Samples: []timeseries.Sample{{T: 2000, V: 1}, {T: 4000, V: 0.5}, {T: 8000, V: 0}}},
+		{Name: "shard1.busy", Unit: "frac", Samples: []timeseries.Sample{{T: 2000, V: 0.25}, {T: 4000, V: 1}, {T: 8000, V: 0.75}}},
+	}
+	return f
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	golden := filepath.Join("testdata", name)
 	if *update {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)
@@ -95,6 +111,14 @@ func TestPageMatchesGolden(t *testing.T) {
 	}
 }
 
+func TestPageMatchesGolden(t *testing.T) {
+	checkGolden(t, "fixture.html", Page(fixture()))
+}
+
+func TestTelemetryPageMatchesGolden(t *testing.T) {
+	checkGolden(t, "telemetry.html", Page(telemetryFixture()))
+}
+
 func TestRenderIsByteStable(t *testing.T) {
 	f := fixture()
 	if !bytes.Equal(Page(f), Page(f)) {
@@ -103,11 +127,68 @@ func TestRenderIsByteStable(t *testing.T) {
 	if !bytes.Equal(TimelineSVG(f), TimelineSVG(f)) || !bytes.Equal(SpaceTimeSVG(f), SpaceTimeSVG(f)) {
 		t.Fatal("SVG renders are not deterministic")
 	}
+	tf := telemetryFixture()
+	if !bytes.Equal(Page(tf), Page(tf)) {
+		t.Fatal("two telemetry renders of the same capture differ")
+	}
+	if !bytes.Equal(ShardLanesSVG(tf), ShardLanesSVG(tf)) {
+		t.Fatal("shard lane render is not deterministic")
+	}
+}
+
+func TestShardLanesOnlyForShardedCaptures(t *testing.T) {
+	if svg := ShardLanesSVG(fixture()); svg != nil {
+		t.Fatalf("serial capture grew shard lanes:\n%s", svg)
+	}
+	page := string(Page(telemetryFixture()))
+	if !strings.Contains(page, "Run telemetry") || !strings.Contains(page, "shard occupancy") {
+		t.Fatal("telemetry section missing from sharded page")
+	}
+	if !strings.Contains(page, "links.util.mean") || !strings.Contains(page, "ops.outstanding") {
+		t.Fatal("telemetry charts missing series labels")
+	}
+}
+
+func TestLineChartSVG(t *testing.T) {
+	series := []ChartSeries{
+		{Label: "a", Pts: []ChartPoint{{X: 0, Y: 1}, {X: 10, Y: 3}}},
+		{Label: "b", Step: true, Pts: []ChartPoint{{X: 0, Y: 2}, {X: 10, Y: 0}}},
+		{Label: "empty"}, // skipped
+	}
+	svg := LineChartSVG("test chart", "GB/s", series, []ChartTick{{X: 0, Label: "0"}, {X: 10, Label: "ten"}})
+	if n := wellFormedSVGs(t, svg); n != 1 {
+		t.Fatalf("chart = %d SVGs, want 1", n)
+	}
+	s := string(svg)
+	for _, want := range []string{"test chart", "GB/s", ">a<", ">b<", ">ten<"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("chart missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "empty") {
+		t.Fatal("pointless series not skipped")
+	}
+	if !bytes.Equal(svg, LineChartSVG("test chart", "GB/s", series, []ChartTick{{X: 0, Label: "0"}, {X: 10, Label: "ten"}})) {
+		t.Fatal("chart render is not deterministic")
+	}
+	// Degenerate inputs still produce a well-formed document.
+	if n := wellFormedSVGs(t, LineChartSVG("empty", "", nil, nil)); n != 1 {
+		t.Fatalf("empty chart = %d SVGs, want 1", n)
+	}
+	one := []ChartSeries{{Label: "pt", Pts: []ChartPoint{{X: 5, Y: 5}}}}
+	if n := wellFormedSVGs(t, LineChartSVG("single", "", one, nil)); n != 1 {
+		t.Fatalf("single-point chart = %d SVGs, want 1", n)
+	}
 }
 
 func TestSVGsAreWellFormedXML(t *testing.T) {
 	if n := wellFormedSVGs(t, Page(fixture())); n != 2 {
 		t.Fatalf("page embeds %d SVGs, want timeline + space-time", n)
+	}
+	// The telemetry fixture adds shard lanes + one chart per unit (frac,
+	// ops) on top of the timeline and space-time views.
+	if n := wellFormedSVGs(t, Page(telemetryFixture())); n != 5 {
+		t.Fatalf("telemetry page embeds %d SVGs, want timeline + space-time + lanes + 2 charts", n)
 	}
 	// Both standalone renderers emit a single well-formed document even
 	// for an empty capture.

@@ -200,6 +200,68 @@ func (r *Recorder) WriteJSON(w io.Writer) error {
 	return enc.Encode(evs)
 }
 
+// canonicalLess orders events by the full record: time first, then every
+// other field lexicographically. It is a total order up to identical
+// records, which is the property the sharded merge needs: two captures
+// holding the same multiset of events sort to byte-identical sequences
+// regardless of how emissions were distributed across shards or streams.
+func canonicalLess(a, b Event) bool {
+	if a.T != b.T {
+		return a.T < b.T
+	}
+	if a.Comp != b.Comp {
+		return a.Comp < b.Comp
+	}
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	if a.Op != b.Op {
+		return a.Op < b.Op
+	}
+	if a.Dur != b.Dur {
+		return a.Dur < b.Dur
+	}
+	if a.Bytes != b.Bytes {
+		return a.Bytes < b.Bytes
+	}
+	return a.Note < b.Note
+}
+
+// SortCanonical stable-sorts events into the canonical capture order:
+// by time, with full-record lexicographic tie-breaks, and original
+// position (stream order: shard index, then per-stream emission
+// sequence) deciding between identical records. Every event field in
+// this simulator is a pure function of model results — which are pinned
+// byte-identical across shard counts — so captures of the same run
+// merged from any shard decomposition canonicalize to the same stream.
+func SortCanonical(evs []Event) {
+	sort.SliceStable(evs, func(i, j int) bool { return canonicalLess(evs[i], evs[j]) })
+}
+
+// MergeCanonical appends the given per-shard streams (in shard order) to
+// the recorder and canonically sorts the suffix starting at mark —
+// normally the recorder's Len() before the run whose streams are being
+// merged, so earlier captures (previous worlds recorded into the same
+// recorder, with their own restarting clocks) keep their order. With no
+// streams it canonicalizes the suffix in place, which is how a serial
+// run's capture is normalized to match its sharded twins. Safe on a nil
+// or disabled recorder.
+func (r *Recorder) MergeCanonical(mark int, streams ...[]Event) {
+	if r == nil || !r.enabled {
+		return
+	}
+	for _, s := range streams {
+		r.events = append(r.events, s...)
+	}
+	if mark < 0 {
+		mark = 0
+	}
+	if mark > len(r.events) {
+		mark = len(r.events)
+	}
+	SortCanonical(r.events[mark:])
+}
+
 // Summary aggregates per (component, kind): count, bytes, time span.
 type Summary struct {
 	Comp  string   `json:"comp"`
